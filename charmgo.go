@@ -1,0 +1,136 @@
+// Package charmgo is a Go reproduction of "A uGNI-based Asynchronous
+// Message-driven Runtime System for Cray Supercomputers with Gemini
+// Interconnect" (Sun, Zheng, Kalé, Jones, Olson — IPDPS 2012).
+//
+// It provides a CHARM++-style asynchronous message-driven runtime running
+// on a simulated Cray Gemini interconnect, with two interchangeable LRTS
+// machine layers — the paper's direct uGNI layer and the MPI baseline —
+// plus the paper's optimizations (registered memory pool, persistent
+// messages, pxshm intra-node transport) and the full experiment harness
+// that regenerates every figure and table of the paper's evaluation.
+//
+// Quick start:
+//
+//	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerUGNI})
+//	pong := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+//		fmt.Printf("pong on PE %d at %v\n", ctx.PE(), ctx.Now())
+//	})
+//	ping := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+//		ctx.Send(m.NumPEs()-1, pong, nil, 64)
+//	})
+//	m.Inject(0, ping, nil, 0, 0)
+//	m.Run()
+//
+// All time is virtual (see internal/sim); runs are deterministic.
+package charmgo
+
+import (
+	"fmt"
+
+	"charmgo/internal/converse"
+	"charmgo/internal/gemini"
+	"charmgo/internal/lrts"
+	"charmgo/internal/machine/mpimachine"
+	"charmgo/internal/machine/ugnimachine"
+	"charmgo/internal/sim"
+	"charmgo/internal/trace"
+	"charmgo/internal/ugni"
+)
+
+// Re-exported core types: the user-facing runtime surface.
+type (
+	// Machine is one simulated job (engine + network + machine layer +
+	// per-PE schedulers).
+	Machine = converse.Machine
+	// Ctx is a handler execution context: PE-local clock, Send/Broadcast,
+	// Compute/Charge time accounting.
+	Ctx = converse.Ctx
+	// Message is the runtime message envelope.
+	Message = lrts.Message
+	// HandlerFn is a Converse message handler.
+	HandlerFn = converse.HandlerFn
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// PersistentHandle names a persistent channel.
+	PersistentHandle = lrts.PersistentHandle
+)
+
+// Virtual-time units, re-exported for convenience.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// LayerKind selects a machine layer.
+type LayerKind string
+
+const (
+	// LayerUGNI is the paper's contribution: the direct uGNI machine layer.
+	LayerUGNI LayerKind = "ugni"
+	// LayerMPI is the baseline: the runtime implemented over MPI.
+	LayerMPI LayerKind = "mpi"
+)
+
+// MachineConfig describes the simulated job.
+type MachineConfig struct {
+	// Nodes is the number of compute nodes (required, >= 1).
+	Nodes int
+	// CoresPerNode overrides the hardware default of 24 when > 0.
+	CoresPerNode int
+	// Layer selects the machine layer; default LayerUGNI.
+	Layer LayerKind
+	// Params overrides hardware constants when non-nil.
+	Params *gemini.Params
+	// UGNI overrides the uGNI-layer configuration when non-nil.
+	UGNI *ugnimachine.Config
+	// MPI overrides the MPI-layer configuration when non-nil.
+	MPI *mpimachine.Config
+	// Converse overrides runtime scheduler constants when non-nil.
+	Converse *converse.Options
+	// Tracer, when non-nil, records the Projections-style time profile.
+	Tracer *trace.Recorder
+}
+
+// NewMachine builds a ready-to-run simulated machine.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("charmgo: MachineConfig.Nodes = %d", cfg.Nodes))
+	}
+	params := gemini.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	if cfg.CoresPerNode > 0 {
+		params.CoresPerNode = cfg.CoresPerNode
+	}
+	eng := sim.NewEngine()
+	net := gemini.NewNetwork(eng, cfg.Nodes, params)
+	g := ugni.New(net)
+
+	var layer lrts.Layer
+	switch cfg.Layer {
+	case LayerUGNI, "":
+		c := ugnimachine.DefaultConfig()
+		if cfg.UGNI != nil {
+			c = *cfg.UGNI
+		}
+		layer = ugnimachine.New(g, c)
+	case LayerMPI:
+		c := mpimachine.DefaultConfig()
+		if cfg.MPI != nil {
+			c = *cfg.MPI
+		}
+		layer = mpimachine.New(g, c)
+	default:
+		panic(fmt.Sprintf("charmgo: unknown layer %q", cfg.Layer))
+	}
+
+	opts := converse.DefaultOptions()
+	if cfg.Converse != nil {
+		opts = *cfg.Converse
+	}
+	opts.Tracer = cfg.Tracer
+	return converse.NewMachine(eng, net, layer, opts)
+}

@@ -1,0 +1,64 @@
+package charmgo_test
+
+import (
+	"testing"
+
+	"charmgo"
+)
+
+func TestNewMachineDefaults(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2})
+	if m.NumPEs() != 48 {
+		t.Fatalf("NumPEs = %d, want 48 (2 nodes x 24 cores)", m.NumPEs())
+	}
+	if m.Layer().Name() != "ugni" {
+		t.Fatalf("default layer = %q, want ugni", m.Layer().Name())
+	}
+}
+
+func TestNewMachineLayerSelection(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1, Layer: charmgo.LayerMPI})
+	if m.Layer().Name() != "mpi" {
+		t.Fatalf("layer = %q", m.Layer().Name())
+	}
+}
+
+func TestNewMachineCoresOverride(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 3, CoresPerNode: 2})
+	if m.NumPEs() != 6 {
+		t.Fatalf("NumPEs = %d, want 6", m.NumPEs())
+	}
+}
+
+func TestNewMachinePanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]charmgo.MachineConfig{
+		"zero nodes":    {Nodes: 0},
+		"unknown layer": {Nodes: 1, Layer: "smoke-signals"},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			charmgo.NewMachine(cfg)
+		})
+	}
+}
+
+func TestREADMEExampleCompilesAndRuns(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerUGNI})
+	ran := false
+	pong := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { ran = true })
+	ping := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(m.NumPEs()-1, pong, nil, 64)
+	})
+	m.Inject(0, ping, nil, 0, 0)
+	if end := m.Run(); end <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if !ran {
+		t.Fatal("pong never ran")
+	}
+}

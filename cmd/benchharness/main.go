@@ -1,0 +1,62 @@
+// Command benchharness regenerates the paper's evaluation: every figure
+// and table has a runner (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	benchharness -list
+//	benchharness -exp fig9a
+//	benchharness -exp all [-quick] [-seed 1]
+//
+// Full mode reproduces the paper's axes (core counts up to 15,360); quick
+// mode shrinks sizes and core counts so the whole suite finishes in
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"charmgo/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig1, fig4, ..., tab2) or 'all'")
+		quick = flag.Bool("quick", false, "reduced sizes/core counts")
+		seed  = flag.Uint64("seed", 1, "workload placement seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		for _, t := range e.Run(opts) {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s wall time: %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,60 @@
+// Command nqueens runs the N-Queens state-space search on the simulated
+// machine with either machine layer, printing solutions (real mode) and
+// virtual-time performance.
+//
+// Usage:
+//
+//	nqueens -n 13 -threshold 5 -cores 96 -layer ugni
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charmgo"
+	"charmgo/internal/ssse"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 13, "board size")
+		threshold = flag.Int("threshold", 5, "parallel depth (grain-size control)")
+		cores     = flag.Int("cores", 48, "total cores")
+		layer     = flag.String("layer", "ugni", "machine layer: ugni or mpi")
+		chunk     = flag.Int("chunk", 1, "task bundling factor (ParSSSE grain)")
+		synthetic = flag.Bool("synthetic", false, "force synthetic subtree costs")
+		seed      = flag.Uint64("seed", 1, "placement seed")
+	)
+	flag.Parse()
+
+	nodes := (*cores + 23) / 24
+	for *cores%nodes != 0 {
+		nodes++
+	}
+	m := charmgo.NewMachine(charmgo.MachineConfig{
+		Nodes:        nodes,
+		CoresPerNode: *cores / nodes,
+		Layer:        charmgo.LayerKind(*layer),
+	})
+	res := ssse.Run(m, ssse.Config{
+		N: *n, Threshold: *threshold, Seed: *seed,
+		ChunkSize: *chunk, Synthetic: *synthetic,
+	})
+
+	fmt.Printf("%d-queens, threshold %d, %d cores, %s layer\n", *n, *threshold, *cores, *layer)
+	if res.Solutions > 0 {
+		if want := ssse.Solutions[*n]; want != 0 && res.Solutions != want {
+			fmt.Fprintf(os.Stderr, "WRONG ANSWER: %d solutions, want %d\n", res.Solutions, want)
+			os.Exit(1)
+		}
+		fmt.Printf("solutions: %d (verified)\n", res.Solutions)
+	} else {
+		fmt.Printf("solutions: (synthetic-cost mode, not counted)\n")
+	}
+	fmt.Printf("tasks: %d  nodes: %d\n", res.Tasks, res.Nodes)
+	fmt.Printf("virtual time: %v\n", res.Elapsed)
+	for k, v := range m.Layer().Stats() {
+		fmt.Printf("  layer %s = %d\n", k, v)
+	}
+}

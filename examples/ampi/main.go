@@ -1,0 +1,41 @@
+// AMPI example: an MPI-style ring program with blocking Send/Recv and an
+// Allreduce, running as user-level threads on the message-driven runtime
+// (paper Section III-A). Note the virtualization: 16 ranks share 8 PEs.
+//
+// Run: go run ./examples/ampi
+package main
+
+import (
+	"fmt"
+
+	"charmgo"
+	"charmgo/internal/ampi"
+)
+
+func main() {
+	m := charmgo.NewMachine(charmgo.MachineConfig{
+		Nodes: 2, CoresPerNode: 4, Layer: charmgo.LayerUGNI,
+	})
+	const ranks = 16
+	fmt.Printf("AMPI ring over %d ranks on %d PEs\n\n", ranks, m.NumPEs())
+
+	end := ampi.Run(m, ranks, func(r *ampi.Rank) {
+		// Pass a token around the ring, each rank adding its id.
+		token := 0
+		if r.Rank() == 0 {
+			r.Send(1, 1, token, 64)
+			token = r.Recv(ranks-1, 1).Data.(int)
+			fmt.Printf("token completed the ring with value %d at %v\n", token, r.Now())
+		} else {
+			token = r.Recv(r.Rank()-1, 1).Data.(int) + r.Rank()
+			r.Send((r.Rank()+1)%ranks, 1, token, 64)
+		}
+
+		// A blocking collective across all ranks.
+		sum := r.Allreduce(float64(r.Rank()), func(a, b float64) float64 { return a + b })
+		if r.Rank() == 0 {
+			fmt.Printf("allreduce(sum of ranks) = %.0f at %v\n", sum, r.Now())
+		}
+	})
+	fmt.Printf("\njob finished at %v of virtual time\n", end)
+}

@@ -1,0 +1,39 @@
+// Quickstart: the smallest complete charmgo program — a message-driven
+// ring relay across a simulated 2-node Cray XE6, printing the virtual-time
+// hop latencies on the uGNI machine layer.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"charmgo"
+)
+
+func main() {
+	m := charmgo.NewMachine(charmgo.MachineConfig{
+		Nodes:        2,
+		CoresPerNode: 4,
+		Layer:        charmgo.LayerUGNI,
+	})
+	n := m.NumPEs()
+
+	const hops = 16
+	count := 0
+	var relay int
+	relay = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		fmt.Printf("hop %2d on PE %d at %v\n", count, ctx.PE(), ctx.Now())
+		count++
+		// Pretend to do a little work before passing the token on.
+		ctx.Compute(2 * charmgo.Microsecond)
+		if count < hops {
+			ctx.Send((ctx.PE()+1)%n, relay, "token", 64)
+		}
+	})
+
+	m.Inject(0, relay, "token", 64, 0)
+	end := m.Run()
+	fmt.Printf("\n%d hops around %d PEs in %v of virtual time\n", hops, n, end)
+	fmt.Printf("machine layer: %s, stats: %v\n", m.Layer().Name(), m.Layer().Stats())
+}

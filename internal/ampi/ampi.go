@@ -1,0 +1,232 @@
+// Package ampi is an Adaptive-MPI-style layer on top of the message-driven
+// runtime (paper Section III-A: "Adaptive MPI is an implementation of the
+// message passing interface standard on top of the Charm++ runtime
+// system"). Each MPI rank is a user-level thread — here a Go goroutine in
+// strict handoff with the simulator — so ranks can call *blocking*
+// Send/Recv/Barrier/Allreduce while the underlying machine layer stays
+// asynchronous and message-driven.
+//
+// Concurrency discipline: at most one rank thread runs at any instant.
+// A Converse handler resumes a rank and blocks until the rank yields
+// (blocks in Recv, or finishes); the rank performs all its virtual-time
+// effects through the handler's context. Runs are therefore exactly as
+// deterministic as the rest of the simulator.
+package ampi
+
+import (
+	"fmt"
+
+	"charmgo/internal/converse"
+	"charmgo/internal/lrts"
+	"charmgo/internal/sim"
+)
+
+// AnySource matches any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv.
+const AnyTag = -1
+
+// Program is the per-rank body, started once on every rank.
+type Program func(r *Rank)
+
+// Message is a received AMPI message.
+type Message struct {
+	Src, Tag int
+	Data     any
+	Size     int
+}
+
+// World is one AMPI job.
+type World struct {
+	m       *converse.Machine
+	ranks   []*Rank
+	handler int
+	startH  int
+	program Program
+}
+
+// Rank is one MPI rank: a user-level thread bound to a PE.
+type Rank struct {
+	id    int
+	w     *World
+	pe    int
+	ctx   *converse.Ctx // valid only while the thread is running
+	inbox []*Message
+	want  struct {
+		active   bool
+		src, tag int
+	}
+
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// envelope is the wire payload between ranks.
+type envelope struct {
+	dstRank int
+	msg     *Message
+}
+
+// Run executes program on `ranks` MPI ranks over the machine (rank r lives
+// on PE r mod NumPEs) and returns the final virtual time. It panics if the
+// program deadlocks (some rank still blocked when the machine drains).
+func Run(m *converse.Machine, ranks int, program Program) sim.Time {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("ampi: Run with %d ranks", ranks))
+	}
+	w := &World{m: m, program: program}
+	for r := 0; r < ranks; r++ {
+		w.ranks = append(w.ranks, &Rank{
+			id:     r,
+			w:      w,
+			pe:     r % m.NumPEs(),
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		})
+	}
+	w.handler = m.RegisterHandler(w.onMessage)
+	w.startH = m.RegisterHandler(w.onStart)
+	for _, r := range w.ranks {
+		m.Inject(r.pe, w.startH, r, 64, 0)
+	}
+	end := m.Run()
+	for _, r := range w.ranks {
+		if !r.done {
+			panic(fmt.Sprintf("ampi: deadlock — rank %d still blocked at end of run", r.id))
+		}
+	}
+	return end
+}
+
+// onStart launches a rank's thread.
+func (w *World) onStart(ctx *converse.Ctx, msg *lrts.Message) {
+	r := msg.Data.(*Rank)
+	go func() {
+		<-r.resume
+		w.program(r)
+		r.done = true
+		r.yield <- struct{}{}
+	}()
+	r.run(ctx)
+}
+
+// run hands the PE to the rank thread until it yields.
+func (r *Rank) run(ctx *converse.Ctx) {
+	r.ctx = ctx
+	r.resume <- struct{}{}
+	<-r.yield
+	r.ctx = nil
+}
+
+// onMessage delivers a rank-to-rank message and resumes the receiver if it
+// is blocked on a matching Recv.
+func (w *World) onMessage(ctx *converse.Ctx, msg *lrts.Message) {
+	env := msg.Data.(*envelope)
+	r := w.ranks[env.dstRank]
+	r.inbox = append(r.inbox, env.msg)
+	if r.want.active && !r.done {
+		if _, ok := r.match(r.want.src, r.want.tag); ok {
+			r.want.active = false
+			r.run(ctx)
+		}
+	}
+}
+
+// match finds (without removing) the first inbox message matching src/tag.
+func (r *Rank) match(src, tag int) (int, bool) {
+	for i, m := range r.inbox {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Rank reports this rank's id.
+func (r *Rank) Rank() int { return r.id }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Now reports the rank's current virtual time.
+func (r *Rank) Now() sim.Time { return r.ctx.Now() }
+
+// Compute charges d units of application work.
+func (r *Rank) Compute(d sim.Time) { r.ctx.Compute(d) }
+
+// Send sends size bytes (payload data) to rank dst with a tag. Sends are
+// buffered (MPI_Bsend-like): the call charges the send-side cost and
+// returns immediately.
+func (r *Rank) Send(dst, tag int, data any, size int) {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("ampi: rank %d sends to invalid rank %d", r.id, dst))
+	}
+	env := &envelope{
+		dstRank: dst,
+		msg:     &Message{Src: r.id, Tag: tag, Data: data, Size: size},
+	}
+	r.ctx.Send(r.w.ranks[dst].pe, r.w.handler, env, size)
+}
+
+// Recv blocks until a message matching src/tag (AnySource/AnyTag wildcards)
+// arrives and returns it. Messages match in arrival order.
+func (r *Rank) Recv(src, tag int) *Message {
+	for {
+		if i, ok := r.match(src, tag); ok {
+			m := r.inbox[i]
+			r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+			return m
+		}
+		// Park the thread; the delivery handler resumes it.
+		r.want.active = true
+		r.want.src, r.want.tag = src, tag
+		r.yield <- struct{}{}
+		<-r.resume
+	}
+}
+
+// Internal collective tags (high bits keep clear of user tags).
+const (
+	tagReduce = 1 << 29
+	tagBcast  = 1 << 30
+)
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() {
+	r.Allreduce(0, func(a, b float64) float64 { return a + b })
+}
+
+// Allreduce combines every rank's value with op and returns the result on
+// all ranks (gather to rank 0, then broadcast — O(P) at the root, which is
+// fine at simulation scale).
+func (r *Rank) Allreduce(value float64, op func(a, b float64) float64) float64 {
+	const size = 64
+	if r.id == 0 {
+		acc := value
+		for i := 1; i < r.Size(); i++ {
+			m := r.Recv(AnySource, tagReduce)
+			acc = op(acc, m.Data.(float64))
+		}
+		for i := 1; i < r.Size(); i++ {
+			r.Send(i, tagBcast, acc, size)
+		}
+		return acc
+	}
+	r.Send(0, tagReduce, value, size)
+	return r.Recv(0, tagBcast).Data.(float64)
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func (r *Rank) Bcast(root int, value any, size int) any {
+	if r.id == root {
+		for i := 0; i < r.Size(); i++ {
+			if i != root {
+				r.Send(i, tagBcast, value, size)
+			}
+		}
+		return value
+	}
+	return r.Recv(root, tagBcast).Data
+}

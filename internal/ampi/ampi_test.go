@@ -1,0 +1,167 @@
+package ampi_test
+
+import (
+	"testing"
+
+	"charmgo"
+	"charmgo/internal/ampi"
+	"charmgo/internal/sim"
+)
+
+func machine(nodes, cores int, layer charmgo.LayerKind) *charmgo.Machine {
+	return charmgo.NewMachine(charmgo.MachineConfig{Nodes: nodes, CoresPerNode: cores, Layer: layer})
+}
+
+func TestPingPongBlockingSemantics(t *testing.T) {
+	for _, layer := range []charmgo.LayerKind{charmgo.LayerUGNI, charmgo.LayerMPI} {
+		m := machine(2, 1, layer)
+		var log []string
+		ampi.Run(m, 2, func(r *ampi.Rank) {
+			if r.Rank() == 0 {
+				r.Send(1, 7, "ping", 1024)
+				msg := r.Recv(1, 8)
+				log = append(log, msg.Data.(string))
+			} else {
+				msg := r.Recv(0, 7)
+				log = append(log, msg.Data.(string))
+				r.Send(0, 8, "pong", 1024)
+			}
+		})
+		if len(log) != 2 || log[0] != "ping" || log[1] != "pong" {
+			t.Fatalf("layer %s: log = %v", layer, log)
+		}
+	}
+}
+
+func TestRecvBlocksUntilArrival(t *testing.T) {
+	m := machine(2, 1, charmgo.LayerUGNI)
+	var recvAt, sentAt sim.Time
+	ampi.Run(m, 2, func(r *ampi.Rank) {
+		if r.Rank() == 0 {
+			r.Compute(100 * sim.Microsecond) // sender is late
+			sentAt = r.Now()
+			r.Send(1, 0, nil, 64)
+		} else {
+			r.Recv(0, 0)
+			recvAt = r.Now()
+		}
+	})
+	if recvAt < sentAt {
+		t.Fatalf("Recv returned at %v before the send at %v", recvAt, sentAt)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	m := machine(1, 2, charmgo.LayerUGNI)
+	var got []int
+	ampi.Run(m, 2, func(r *ampi.Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 5, 500, 64)
+			r.Send(1, 3, 300, 64)
+			r.Send(1, 4, 400, 64)
+		} else {
+			// Receive out of arrival order by tag.
+			got = append(got, r.Recv(0, 3).Data.(int))
+			got = append(got, r.Recv(0, 4).Data.(int))
+			got = append(got, r.Recv(ampi.AnySource, ampi.AnyTag).Data.(int))
+		}
+	})
+	want := []int{300, 400, 500}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m := machine(2, 4, charmgo.LayerUGNI)
+	const ranks = 8
+	after := make([]sim.Time, ranks)
+	var slowest sim.Time
+	ampi.Run(m, ranks, func(r *ampi.Rank) {
+		work := sim.Time(r.Rank()) * 50 * sim.Microsecond
+		r.Compute(work)
+		if r.Rank() == ranks-1 {
+			slowest = r.Now()
+		}
+		r.Barrier()
+		after[r.Rank()] = r.Now()
+	})
+	for i, t2 := range after {
+		if t2 < slowest {
+			t.Fatalf("rank %d left the barrier at %v, before the slowest rank entered at %v", i, t2, slowest)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	m := machine(2, 3, charmgo.LayerUGNI)
+	const ranks = 6
+	results := make([]float64, ranks)
+	ampi.Run(m, ranks, func(r *ampi.Rank) {
+		results[r.Rank()] = r.Allreduce(float64(r.Rank()+1),
+			func(a, b float64) float64 { return a + b })
+	})
+	for i, v := range results {
+		if v != 21 {
+			t.Fatalf("rank %d allreduce = %v, want 21", i, v)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	m := machine(1, 4, charmgo.LayerUGNI)
+	got := make([]any, 4)
+	ampi.Run(m, 4, func(r *ampi.Rank) {
+		got[r.Rank()] = r.Bcast(2, r.Rank()*111, 64)
+	})
+	for i, v := range got {
+		if v != 222 {
+			t.Fatalf("rank %d bcast = %v, want 222", i, v)
+		}
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked program did not panic")
+		}
+	}()
+	m := machine(1, 2, charmgo.LayerUGNI)
+	ampi.Run(m, 2, func(r *ampi.Rank) {
+		r.Recv(ampi.AnySource, ampi.AnyTag) // nobody sends
+	})
+}
+
+func TestManyRanksPerPE(t *testing.T) {
+	// Virtualization: more ranks than PEs (the AMPI selling point).
+	m := machine(1, 2, charmgo.LayerUGNI)
+	const ranks = 16
+	sum := 0.0
+	ampi.Run(m, ranks, func(r *ampi.Rank) {
+		v := r.Allreduce(1, func(a, b float64) float64 { return a + b })
+		if r.Rank() == 0 {
+			sum = v
+		}
+	})
+	if sum != ranks {
+		t.Fatalf("allreduce over %d virtualized ranks = %v", ranks, sum)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		m := machine(2, 2, charmgo.LayerUGNI)
+		return ampi.Run(m, 8, func(r *ampi.Rank) {
+			for i := 0; i < 5; i++ {
+				r.Compute(sim.Time(r.Rank()+1) * sim.Microsecond)
+				r.Barrier()
+			}
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,91 @@
+package charm
+
+import (
+	"fmt"
+
+	"charmgo/internal/converse"
+	"charmgo/internal/sim"
+)
+
+// Checkpoint/restart: the LRTS capability class the paper lists alongside
+// communication and threads ("capabilities needed for communication,
+// node-level OS interface, support for user level threads, external
+// communication, and fault tolerance"), in the style of CHARM++'s
+// synchronized checkpointing: at a quiescent point the runtime collects
+// every array element's state and placement; a later run reconstructs the
+// same arrays and resumes from the snapshot.
+//
+// Element state is carried by value through a user Pack function (the PUP
+// analogue): Pack must return a self-contained copy so later mutation of
+// the live element cannot corrupt the snapshot.
+
+// ElemPacker copies an element's state for a checkpoint (PUP "pack").
+type ElemPacker func(elem any) any
+
+// Checkpoint is a consistent snapshot of every array of a runtime.
+type Checkpoint struct {
+	// TakenAt is the virtual time of the snapshot.
+	TakenAt sim.Time
+	arrays  []arraySnapshot
+}
+
+type arraySnapshot struct {
+	n     int
+	elems []any
+	peOf  []int
+	load  []sim.Time
+}
+
+// TakeCheckpoint snapshots every array of the runtime. It must be called
+// from a handler at an application-quiescent point (no in-flight entry
+// invocations — typically right after a reduction barrier, which is how
+// CHARM++ synchronized checkpoints are driven too). pack extracts a
+// by-value copy of each element's state; stateBytes models the per-element
+// snapshot size, charged as a send to the element's buddy node.
+func (rt *Runtime) TakeCheckpoint(ctx *converse.Ctx, pack ElemPacker, stateBytes int) *Checkpoint {
+	cp := &Checkpoint{TakenAt: ctx.Now()}
+	n := rt.M.NumPEs()
+	for _, a := range rt.arrays {
+		snap := arraySnapshot{
+			n:     a.n,
+			elems: make([]any, a.n),
+			peOf:  append([]int(nil), a.peOf...),
+			load:  append([]sim.Time(nil), a.load...),
+		}
+		for i, e := range a.elems {
+			snap.elems[i] = pack(e)
+			// Buddy copy: each element's state travels to the next node
+			// (double in-memory checkpointing's message cost).
+			buddy := (a.peOf[i] + rt.M.Net().P.CoresPerNode) % n
+			ctx.Send(buddy, rt.nop, nil, stateBytes)
+		}
+		cp.arrays = append(cp.arrays, snap)
+	}
+	return cp
+}
+
+// RestoreCheckpoint loads a snapshot into this runtime. The runtime must
+// have been rebuilt with the same arrays in the same creation order (same
+// sizes); element objects are replaced by the snapshot copies and placement
+// is restored. It must be called before any application messages are sent.
+func (rt *Runtime) RestoreCheckpoint(cp *Checkpoint) error {
+	if len(rt.arrays) != len(cp.arrays) {
+		return fmt.Errorf("charm: restore with %d arrays, checkpoint has %d",
+			len(rt.arrays), len(cp.arrays))
+	}
+	numPEs := rt.M.NumPEs()
+	for i, snap := range cp.arrays {
+		a := rt.arrays[i]
+		if a.n != snap.n {
+			return fmt.Errorf("charm: array %d has %d elements, checkpoint has %d", i, a.n, snap.n)
+		}
+		for j := range snap.elems {
+			a.elems[j] = snap.elems[j]
+			// Placement maps onto the new machine; a smaller machine folds
+			// PEs down (restart on fewer processors is the CHARM++ use case).
+			a.peOf[j] = snap.peOf[j] % numPEs
+			a.load[j] = snap.load[j]
+		}
+	}
+	return nil
+}

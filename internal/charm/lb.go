@@ -1,0 +1,99 @@
+package charm
+
+import (
+	"container/heap"
+	"sort"
+
+	"charmgo/internal/converse"
+	"charmgo/internal/sim"
+)
+
+// GreedyRebalance is the measurement-based centralized greedy load balancer
+// the paper's NAMD runs use ("dynamic measurement-based load balancing
+// framework ... objects migrate between processors periodically"): elements
+// are sorted by measured load (accumulated Compute time since the last
+// rebalance) and assigned heaviest-first to the least-loaded PE.
+//
+// It must be called from a handler (normally on PE 0 after a reduction
+// barrier). Load statistics gathering is not charged (a simplification —
+// the gather is a small-message reduction the apps already perform);
+// migrations are charged as stateSize-byte messages and a per-element
+// decision cost is charged to the calling PE.
+//
+// It returns the number of migrated elements and resets the measurements.
+func (a *Array) GreedyRebalance(ctx *converse.Ctx, stateSize int) int {
+	numPEs := a.rt.M.NumPEs()
+	// Decision cost: sort + heap operations.
+	ctx.Charge(sim.Time(a.n) * 60 * sim.Nanosecond)
+
+	order := make([]int, a.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := a.load[order[i]], a.load[order[j]]
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j] // deterministic tie-break
+	})
+
+	h := make(peHeap, numPEs)
+	for pe := 0; pe < numPEs; pe++ {
+		h[pe] = peLoad{pe: pe}
+	}
+	heap.Init(&h)
+
+	migrated := 0
+	for _, idx := range order {
+		tgt := h[0]
+		if tgt.pe != a.peOf[idx] {
+			a.Migrate(ctx, idx, tgt.pe, stateSize)
+			migrated++
+		}
+		tgt.load += a.load[idx]
+		h[0] = tgt
+		heap.Fix(&h, 0)
+	}
+	for i := range a.load {
+		a.load[i] = 0
+	}
+	return migrated
+}
+
+// MaxPELoad reports the maximum per-PE sum of measured element loads —
+// the imbalance metric tests assert on.
+func (a *Array) MaxPELoad() sim.Time {
+	sums := make(map[int]sim.Time)
+	for idx, pe := range a.peOf {
+		sums[pe] += a.load[idx]
+	}
+	var maxLoad sim.Time
+	for _, v := range sums {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	return maxLoad
+}
+
+// Load reports the measured load of element idx since the last rebalance.
+func (a *Array) Load(idx int) sim.Time { return a.load[idx] }
+
+type peLoad struct {
+	pe   int
+	load sim.Time
+}
+
+type peHeap []peLoad
+
+func (h peHeap) Len() int { return len(h) }
+func (h peHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].pe < h[j].pe
+}
+func (h peHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *peHeap) Push(x any)   { *h = append(*h, x.(peLoad)) }
+func (h *peHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }

@@ -1,0 +1,150 @@
+package charm
+
+import (
+	"fmt"
+
+	"charmgo/internal/converse"
+)
+
+// ReduceOp selects the reduction operator.
+type ReduceOp int
+
+const (
+	// OpSum adds contributions.
+	OpSum ReduceOp = iota
+	// OpMax keeps the maximum.
+	OpMax
+	// OpMin keeps the minimum.
+	OpMin
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("charm: unknown reduce op %d", op))
+}
+
+// Callback names the entry invocation that receives a reduction result
+// (the arg delivered is the float64 result), mirroring CkCallback.
+type Callback struct {
+	Array *Array
+	Idx   int
+	Entry int
+}
+
+// reduction is the state of one reduction round over one array: a binary
+// tree across PEs, where each PE forwards its subtree partial once every
+// expected contribution below it has arrived.
+type reduction struct {
+	op       ReduceOp
+	cb       Callback
+	expected []int // per PE: contributions expected from its whole subtree
+	received []int
+	acc      []float64
+	started  []bool
+}
+
+// redMsgSize is the wire size of a partial-reduction message.
+const redMsgSize = 64
+
+// redParent returns the PE-tree parent (-1 for the root).
+func redParent(pe int) int {
+	if pe == 0 {
+		return -1
+	}
+	return (pe - 1) / 2
+}
+
+// newReduction snapshots the expected contribution counts per subtree.
+// Elements must not migrate while a round is active.
+func (a *Array) newReduction(op ReduceOp, cb Callback) *reduction {
+	numPEs := a.rt.M.NumPEs()
+	r := &reduction{
+		op:       op,
+		cb:       cb,
+		expected: make([]int, numPEs),
+		received: make([]int, numPEs),
+		acc:      make([]float64, numPEs),
+		started:  make([]bool, numPEs),
+	}
+	// Local element counts, then fold children into parents (descending PE
+	// order visits children before parents in a binary heap layout).
+	for _, pe := range a.peOf {
+		r.expected[pe]++
+	}
+	for pe := numPEs - 1; pe > 0; pe-- {
+		r.expected[redParent(pe)] += r.expected[pe]
+	}
+	return r
+}
+
+// Contribute adds the element's value to the given reduction round. Rounds
+// are application-managed (e.g. the timestep number); all elements must
+// contribute to a round exactly once, with the same op and callback. The
+// callback entry fires on the callback element's PE with the final value.
+func (a *Array) Contribute(ctx *converse.Ctx, round int, value float64, op ReduceOp, cb Callback) {
+	r, ok := a.reds[round]
+	if !ok {
+		r = a.newReduction(op, cb)
+		a.reds[round] = r
+	}
+	a.redAccumulate(ctx, r, round, ctx.PE(), value, 1)
+}
+
+// redPartial is the wire payload of a partial travelling up the tree.
+type redPartial struct {
+	array int
+	round int
+	value float64
+	count int
+}
+
+// redAccumulate merges a contribution (or child partial) into pe's state
+// and forwards when the subtree is complete.
+func (a *Array) redAccumulate(ctx *converse.Ctx, r *reduction, round, pe int, value float64, count int) {
+	if !r.started[pe] {
+		r.started[pe] = true
+		r.acc[pe] = value
+	} else {
+		r.acc[pe] = r.op.combine(r.acc[pe], value)
+	}
+	r.received[pe] += count
+	if r.received[pe] > r.expected[pe] {
+		panic(fmt.Sprintf("charm: reduction round %d overflow on PE %d", round, pe))
+	}
+	if r.received[pe] < r.expected[pe] {
+		return
+	}
+	// Subtree complete.
+	parent := redParent(pe)
+	if parent < 0 {
+		delete(a.reds, round)
+		r.cb.Array.Send(ctx, r.cb.Idx, r.cb.Entry, r.acc[pe], redMsgSize)
+		return
+	}
+	p := &redPartial{array: a.id, round: round, value: r.acc[pe], count: r.received[pe]}
+	ctx.Send(parent, a.rt.red, p, redMsgSize)
+}
+
+// onRedPartial merges a child partial into this PE's round state. The round
+// must exist: partials only travel after some Contribute created it.
+func (rt *Runtime) onRedPartial(ctx *converse.Ctx, p *redPartial) {
+	arr := rt.arrays[p.array]
+	r, ok := arr.reds[p.round]
+	if !ok {
+		panic(fmt.Sprintf("charm: partial for unknown reduction round %d", p.round))
+	}
+	arr.redAccumulate(ctx, r, p.round, ctx.PE(), p.value, p.count)
+}

@@ -1,0 +1,58 @@
+package converse
+
+import "charmgo/internal/lrts"
+
+// bcastFanout is the spanning-tree arity for broadcasts. Converse uses a
+// small fixed fan-out so no PE pays more than a constant send cost per
+// broadcast.
+const bcastFanout = 4
+
+// bcastEnvelope wraps a user message travelling down the broadcast tree.
+type bcastEnvelope struct {
+	userHandler int
+	data        any
+	size        int
+	root        int
+}
+
+// registerBroadcastHandler installs the internal tree-forwarding handler;
+// it is always handler index 0.
+func (m *Machine) registerBroadcastHandler() {
+	m.RegisterHandler(func(ctx *Ctx, msg *lrts.Message) {
+		env := msg.Data.(*bcastEnvelope)
+		// Forward to children first so the subtree pipeline starts early.
+		for _, child := range bcastChildren(ctx.PE(), env.root, ctx.NumPEs()) {
+			ctx.Send(child, 0, env, env.size)
+		}
+		// Then execute the user handler locally, reusing the context so the
+		// local execution is serialized after the forwards.
+		user := ctx.proc.m.handlers[env.userHandler]
+		user(ctx, &lrts.Message{
+			Data: env.data, Size: env.size, SrcPE: env.root, DstPE: ctx.PE(),
+			Handler: env.userHandler, SentAt: msg.SentAt,
+		})
+	})
+}
+
+// Broadcast delivers (handler, data, size) on every PE, including the
+// caller's, via a fanout-ary spanning tree rooted at the caller.
+func (c *Ctx) Broadcast(handler int, data any, size int) {
+	env := &bcastEnvelope{userHandler: handler, data: data, size: size, root: c.PE()}
+	c.Send(c.PE(), 0, env, size)
+}
+
+// bcastChildren computes pe's children in a bcastFanout-ary tree rooted at
+// root over n PEs. The tree is laid over ranks relative to the root so any
+// PE can be the root.
+func bcastChildren(pe, root, n int) []int {
+	rel := (pe - root + n) % n
+	var out []int
+	for i := 1; i <= bcastFanout; i++ {
+		child := rel*bcastFanout + i
+		if child >= n {
+			break
+		}
+		out = append(out, (child+root)%n)
+	}
+	return out
+}

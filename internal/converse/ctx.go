@@ -1,0 +1,88 @@
+package converse
+
+import (
+	"charmgo/internal/lrts"
+	"charmgo/internal/sim"
+)
+
+// Ctx is the execution context of one handler invocation: the PE-local
+// virtual clock plus the send API. It implements lrts.SendContext.
+type Ctx struct {
+	proc    *Proc
+	now     sim.Time
+	appTime sim.Time
+}
+
+// PE reports the executing processor.
+func (c *Ctx) PE() int { return c.proc.pe }
+
+// NumPEs reports the job size.
+func (c *Ctx) NumPEs() int { return c.proc.m.NumPEs() }
+
+// Machine exposes the machine (e.g. for topology-aware placement).
+func (c *Ctx) Machine() *Machine { return c.proc.m }
+
+// Now reports the PE-local virtual time (handler start plus charges so far).
+func (c *Ctx) Now() sim.Time { return c.now }
+
+// AppTime reports the useful application time accumulated so far in this
+// handler invocation (used for measurement-based load balancing).
+func (c *Ctx) AppTime() sim.Time { return c.appTime }
+
+// Charge advances the PE-local clock by d units of *runtime overhead*.
+// Machine layers use it for send-side protocol costs.
+func (c *Ctx) Charge(d sim.Time) {
+	if d < 0 {
+		panic("converse: negative charge")
+	}
+	c.now += d
+}
+
+// Compute advances the PE-local clock by d units of *useful application
+// work* (Projections' "useful" category).
+func (c *Ctx) Compute(d sim.Time) {
+	if d < 0 {
+		panic("converse: negative compute charge")
+	}
+	c.now += d
+	c.appTime += d
+}
+
+// Send sends an asynchronous message of the modelled wire size to handler
+// on dst. Intra-PE sends bypass the machine layer, as CmiSendSelf does.
+func (c *Ctx) Send(dst, handler int, data any, size int) {
+	c.SendPrio(dst, handler, data, size, 0)
+}
+
+// SendPrio is Send with an explicit scheduler priority (lower runs first;
+// the default priority is 0).
+func (c *Ctx) SendPrio(dst, handler int, data any, size, priority int) {
+	m := c.proc.m
+	m.sent++
+	msg := &lrts.Message{
+		Data: data, Size: size, SrcPE: c.PE(), DstPE: dst,
+		Handler: handler, SentAt: c.now, Priority: priority,
+	}
+	if dst == c.PE() {
+		c.Charge(m.opts.SelfSendCost)
+		m.Deliver(dst, msg, c.now)
+		return
+	}
+	m.layer.SyncSend(c, msg)
+}
+
+// CreatePersistent sets up a persistent channel (LrtsCreatePersistent).
+func (c *Ctx) CreatePersistent(dst, maxBytes int) (lrts.PersistentHandle, error) {
+	return c.proc.m.layer.CreatePersistent(c, dst, maxBytes)
+}
+
+// SendPersistent sends over a persistent channel (LrtsSendPersistentMsg).
+func (c *Ctx) SendPersistent(h lrts.PersistentHandle, dst, handler int, data any, size int) error {
+	m := c.proc.m
+	m.sent++
+	msg := &lrts.Message{
+		Data: data, Size: size, SrcPE: c.PE(), DstPE: dst,
+		Handler: handler, SentAt: c.now,
+	}
+	return m.layer.SendPersistent(c, h, msg)
+}

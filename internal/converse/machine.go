@@ -1,0 +1,261 @@
+// Package converse is the machine-independent runtime layer of the paper's
+// Figure 3: per-PE message-driven schedulers, a handler registry, and
+// common services (spanning-tree broadcast, quiescence detection) shared by
+// every machine layer. It implements lrts.Host, so machine layers can book
+// progress-engine work on PE CPUs and deliver received messages into
+// schedulers.
+package converse
+
+import (
+	"container/heap"
+	"fmt"
+
+	"charmgo/internal/gemini"
+	"charmgo/internal/lrts"
+	"charmgo/internal/sim"
+	"charmgo/internal/trace"
+)
+
+// HandlerFn is a Converse message handler. Handlers are run-to-completion:
+// they execute real Go code and account virtual time through the Ctx.
+type HandlerFn func(ctx *Ctx, msg *lrts.Message)
+
+// Options tunes machine-independent runtime costs.
+type Options struct {
+	// SchedCost is the per-message scheduler overhead (dequeue, envelope
+	// inspection, handler dispatch).
+	SchedCost sim.Time
+	// SelfSendCost is the cost of an intra-PE send (no network involved).
+	SelfSendCost sim.Time
+	// Tracer, if non-nil, receives busy intervals for the time profile.
+	Tracer *trace.Recorder
+}
+
+// DefaultOptions returns the calibrated runtime constants.
+func DefaultOptions() Options {
+	return Options{
+		SchedCost:    140 * sim.Nanosecond,
+		SelfSendCost: 90 * sim.Nanosecond,
+	}
+}
+
+// Machine is one simulated job: an engine, a network, a machine layer, and
+// NumPEs schedulers.
+type Machine struct {
+	eng   *sim.Engine
+	net   *gemini.Network
+	layer lrts.Layer
+	opts  Options
+
+	procs    []*Proc
+	handlers []HandlerFn
+
+	// Quiescence accounting (valid inside a single-process DES; DESIGN.md §5).
+	sent      uint64
+	processed uint64
+	qdWatcher func(at sim.Time)
+}
+
+// NewMachine wires a machine together and starts the layer. The layer must
+// not have been started elsewhere.
+func NewMachine(eng *sim.Engine, net *gemini.Network, layer lrts.Layer, opts Options) *Machine {
+	m := &Machine{eng: eng, net: net, layer: layer, opts: opts}
+	n := net.NumPEs()
+	m.procs = make([]*Proc, n)
+	for pe := 0; pe < n; pe++ {
+		m.procs[pe] = &Proc{
+			m:   m,
+			pe:  pe,
+			cpu: sim.NewResource(fmt.Sprintf("pe%d.cpu", pe)),
+		}
+	}
+	m.registerBroadcastHandler()
+	layer.Start(m)
+	return m
+}
+
+// Eng implements lrts.Host.
+func (m *Machine) Eng() *sim.Engine { return m.eng }
+
+// NumPEs implements lrts.Host.
+func (m *Machine) NumPEs() int { return len(m.procs) }
+
+// CPU implements lrts.Host.
+func (m *Machine) CPU(pe int) *sim.Resource { return m.procs[pe].cpu }
+
+// Net exposes the underlying network (for placement decisions and stats).
+func (m *Machine) Net() *gemini.Network { return m.net }
+
+// Layer exposes the machine layer (for experiment stats).
+func (m *Machine) Layer() lrts.Layer { return m.layer }
+
+// Deliver implements lrts.Host: enqueue msg on pe's scheduler at time at.
+func (m *Machine) Deliver(pe int, msg *lrts.Message, at sim.Time) {
+	p := m.procs[pe]
+	if at < m.eng.Now() {
+		at = m.eng.Now()
+	}
+	m.eng.At(at, func() {
+		heap.Push(&p.q, queued{msg: msg, seq: p.seq})
+		p.seq++
+		p.kick(at)
+	})
+}
+
+// NoteOverhead implements lrts.Host.
+func (m *Machine) NoteOverhead(pe int, from, to sim.Time) {
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Add(pe, trace.KindOverhead, from, to)
+	}
+	m.procs[pe].busyOvh += to - from
+}
+
+// RegisterHandler adds a handler and returns its index. All handlers must
+// be registered before any message referencing them is sent; registration
+// is global (every PE shares the table), mirroring CmiRegisterHandler.
+func (m *Machine) RegisterHandler(fn HandlerFn) int {
+	m.handlers = append(m.handlers, fn)
+	return len(m.handlers) - 1
+}
+
+// Inject seeds an initial message from outside any handler (mainchare
+// startup). It counts as a sent message for quiescence purposes.
+func (m *Machine) Inject(pe, handler int, data any, size int, at sim.Time) {
+	m.sent++
+	m.Deliver(pe, &lrts.Message{
+		Data: data, Size: size, SrcPE: pe, DstPE: pe, Handler: handler, SentAt: at,
+	}, at)
+}
+
+// Run drives the engine until no events remain and returns the final time.
+func (m *Machine) Run() sim.Time {
+	m.eng.Run()
+	return m.eng.Now()
+}
+
+// OnQuiescence registers fn to run once the application reaches quiescence:
+// every sent message has been processed and all scheduler queues are empty.
+// Exact global counters stand in for a distributed QD wave (DESIGN.md §5).
+func (m *Machine) OnQuiescence(fn func(at sim.Time)) { m.qdWatcher = fn }
+
+func (m *Machine) checkQuiescence(at sim.Time) {
+	if m.qdWatcher != nil && m.sent == m.processed {
+		fn := m.qdWatcher
+		m.qdWatcher = nil
+		m.eng.At(at, func() { fn(at) })
+	}
+}
+
+// ProcStats reports per-PE accounting.
+type ProcStats struct {
+	Processed uint64
+	BusyApp   sim.Time
+	BusyOvh   sim.Time
+}
+
+// ProcStats returns the accounting for one PE.
+func (m *Machine) ProcStats(pe int) ProcStats {
+	p := m.procs[pe]
+	return ProcStats{Processed: p.processed, BusyApp: p.busyApp, BusyOvh: p.busyOvh}
+}
+
+// TotalProcessed reports the machine-wide count of executed handlers.
+func (m *Machine) TotalProcessed() uint64 { return m.processed }
+
+// Proc is one PE's message-driven scheduler. The queue is a priority
+// queue: lower Message.Priority runs first, ties in FIFO order.
+type Proc struct {
+	m   *Machine
+	pe  int
+	cpu *sim.Resource
+	q   msgHeap
+	seq uint64
+
+	dispatchAt *sim.Event // pending dispatch event, nil if none
+
+	processed uint64
+	busyApp   sim.Time
+	busyOvh   sim.Time
+}
+
+// queued is one scheduler queue entry.
+type queued struct {
+	msg *lrts.Message
+	seq uint64
+}
+
+// msgHeap orders by (priority, arrival sequence).
+type msgHeap []queued
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].msg.Priority != h[j].msg.Priority {
+		return h[i].msg.Priority < h[j].msg.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// kick ensures a dispatch is scheduled no earlier than at (and no earlier
+// than the CPU frees up).
+func (p *Proc) kick(at sim.Time) {
+	if p.dispatchAt != nil || len(p.q) == 0 {
+		return
+	}
+	t := at
+	if f := p.cpu.FreeAt(); f > t {
+		t = f
+	}
+	p.dispatchAt = p.m.eng.At(t, p.dispatch)
+}
+
+func (p *Proc) dispatch() {
+	p.dispatchAt = nil
+	now := p.m.eng.Now()
+	if f := p.cpu.FreeAt(); f > now {
+		// A machine layer booked progress work in the meantime; retry.
+		p.kick(f)
+		return
+	}
+	if len(p.q) == 0 {
+		return
+	}
+	msg := heap.Pop(&p.q).(queued).msg
+
+	ctx := &Ctx{proc: p, now: now}
+	ctx.Charge(p.m.opts.SchedCost)
+	fn := p.m.handlers[msg.Handler]
+	fn(ctx, msg)
+	if msg.Release != nil {
+		// Return the receive buffer to the machine layer's pool (CmiFree).
+		ctx.Charge(msg.Release())
+		msg.Release = nil
+	}
+	end := ctx.now
+	p.cpu.Acquire(now, end-now)
+
+	p.processed++
+	p.m.processed++
+	p.busyApp += ctx.appTime
+	ovh := (end - now) - ctx.appTime
+	p.busyOvh += ovh
+	if tr := p.m.opts.Tracer; tr != nil {
+		// Attribute the app portion first, then overhead; within one
+		// handler the split order is immaterial to the binned profile.
+		tr.Add(p.pe, trace.KindApp, now, now+ctx.appTime)
+		tr.Add(p.pe, trace.KindOverhead, now+ctx.appTime, end)
+	}
+
+	if len(p.q) > 0 {
+		p.kick(end)
+	}
+	p.m.checkQuiescence(end)
+}

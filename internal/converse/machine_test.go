@@ -1,0 +1,453 @@
+package converse_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"charmgo"
+	"charmgo/internal/lrts"
+	"charmgo/internal/sim"
+	"charmgo/internal/trace"
+)
+
+func bothLayers(t *testing.T, f func(t *testing.T, layer charmgo.LayerKind)) {
+	t.Helper()
+	for _, layer := range []charmgo.LayerKind{charmgo.LayerUGNI, charmgo.LayerMPI} {
+		layer := layer
+		t.Run(string(layer), func(t *testing.T) { f(t, layer) })
+	}
+}
+
+func TestPingPongBothLayers(t *testing.T) {
+	bothLayers(t, func(t *testing.T, layer charmgo.LayerKind) {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: layer})
+		peer := m.Net().P.CoresPerNode // first core of node 1
+		var pongAt sim.Time
+		var pongPE int
+		var pong int
+		ping := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			ctx.Send(peer, pong, "ball", 64)
+		})
+		pong = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			pongAt = ctx.Now()
+			pongPE = ctx.PE()
+			if msg.Data != "ball" {
+				t.Errorf("payload = %v", msg.Data)
+			}
+		})
+		m.Inject(0, ping, nil, 0, 0)
+		m.Run()
+		if pongPE != peer {
+			t.Fatalf("pong ran on PE %d, want %d", pongPE, peer)
+		}
+		if pongAt < 500*sim.Nanosecond || pongAt > 10*sim.Microsecond {
+			t.Fatalf("64B one-way delivery at %v, outside sane range", pongAt)
+		}
+	})
+}
+
+func TestLargeMessageBothLayers(t *testing.T) {
+	bothLayers(t, func(t *testing.T, layer charmgo.LayerKind) {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: layer})
+		peer := m.Net().P.CoresPerNode
+		var gotSize int
+		var at sim.Time
+		recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			gotSize = msg.Size
+			at = ctx.Now()
+		})
+		send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			ctx.Send(peer, recv, nil, 1<<20)
+		})
+		m.Inject(0, send, nil, 0, 0)
+		m.Run()
+		if gotSize != 1<<20 {
+			t.Fatalf("received size %d, want 1MB", gotSize)
+		}
+		// A 1MB transfer cannot beat its BTE serialization (~164us).
+		if at < 150*sim.Microsecond {
+			t.Fatalf("1MB delivered at %v, faster than the wire allows", at)
+		}
+	})
+}
+
+func TestUGNIFasterThanMPIOnSmallMessages(t *testing.T) {
+	// The headline comparison: one-way small-message latency, charm/ugni
+	// vs charm/mpi (paper Figure 9a shows roughly 2x).
+	oneWay := func(layer charmgo.LayerKind) sim.Time {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: layer})
+		peer := m.Net().P.CoresPerNode
+		var at sim.Time
+		recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { at = ctx.Now() })
+		send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			ctx.Send(peer, recv, nil, 8)
+		})
+		m.Inject(0, send, nil, 0, 0)
+		m.Run()
+		return at
+	}
+	u, p := oneWay(charmgo.LayerUGNI), oneWay(charmgo.LayerMPI)
+	if u >= p {
+		t.Fatalf("charm/ugni 8B one-way %v not faster than charm/mpi %v", u, p)
+	}
+	if float64(p)/float64(u) < 1.3 {
+		t.Fatalf("charm/ugni %v vs charm/mpi %v: expected a pronounced gap", u, p)
+	}
+}
+
+func TestIntraPESendBypassesNetwork(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1, Layer: charmgo.LayerUGNI})
+	var at sim.Time
+	recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { at = ctx.Now() })
+	send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(ctx.PE(), recv, nil, 1024)
+	})
+	m.Inject(0, send, nil, 0, 0)
+	m.Run()
+	if at > 1*sim.Microsecond {
+		t.Fatalf("self-send delivered at %v, should bypass the network", at)
+	}
+	if transfers, _ := m.Net().Stats(); transfers != 0 {
+		t.Fatalf("self-send used the NIC: %d transfers", transfers)
+	}
+}
+
+func TestComputeChargesAdvanceClock(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1})
+	var t1, t2 sim.Time
+	h := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		t1 = ctx.Now()
+		ctx.Compute(5 * sim.Microsecond)
+		t2 = ctx.Now()
+	})
+	m.Inject(0, h, nil, 0, 0)
+	m.Run()
+	if t2-t1 != 5*sim.Microsecond {
+		t.Fatalf("Compute advanced clock by %v, want 5us", t2-t1)
+	}
+	st := m.ProcStats(0)
+	if st.BusyApp != 5*sim.Microsecond {
+		t.Fatalf("BusyApp = %v, want 5us", st.BusyApp)
+	}
+	if st.BusyOvh <= 0 {
+		t.Fatal("scheduling overhead not accounted")
+	}
+}
+
+func TestHandlersSerializeOnOnePE(t *testing.T) {
+	// Two messages to one PE must execute back-to-back, not overlap.
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1})
+	type span struct{ s, e sim.Time }
+	var spans []span
+	work := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		s := ctx.Now()
+		ctx.Compute(10 * sim.Microsecond)
+		spans = append(spans, span{s, ctx.Now()})
+	})
+	seed := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(1, work, nil, 8)
+		ctx.Send(1, work, nil, 8)
+	})
+	m.Inject(0, seed, nil, 0, 0)
+	m.Run()
+	if len(spans) != 2 {
+		t.Fatalf("handlers ran %d times, want 2", len(spans))
+	}
+	if spans[1].s < spans[0].e {
+		t.Fatalf("handler executions overlap: %+v", spans)
+	}
+}
+
+func TestBroadcastReachesEveryPE(t *testing.T) {
+	bothLayers(t, func(t *testing.T, layer charmgo.LayerKind) {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 3, CoresPerNode: 4, Layer: layer})
+		n := m.NumPEs()
+		seen := make([]int, n)
+		var h int
+		h = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			if msg.Data != "all" {
+				t.Errorf("broadcast payload %v", msg.Data)
+			}
+			seen[ctx.PE()]++
+		})
+		seed := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			ctx.Broadcast(h, "all", 64)
+		})
+		m.Inject(5, seed, nil, 0, 0)
+		m.Run()
+		for pe, c := range seen {
+			if c != 1 {
+				t.Fatalf("PE %d saw broadcast %d times", pe, c)
+			}
+		}
+	})
+}
+
+func TestBroadcastFromNonZeroRootAndSinglePE(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1, CoresPerNode: 1})
+	count := 0
+	var h int
+	h = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { count++ })
+	seed := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Broadcast(h, nil, 8)
+	})
+	m.Inject(0, seed, nil, 0, 0)
+	m.Run()
+	if count != 1 {
+		t.Fatalf("single-PE broadcast delivered %d times", count)
+	}
+}
+
+func TestQuiescenceDetection(t *testing.T) {
+	bothLayers(t, func(t *testing.T, layer charmgo.LayerKind) {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, CoresPerNode: 2, Layer: layer})
+		n := m.NumPEs()
+		hops := 0
+		var relay int
+		relay = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			hops++
+			if hops < 20 {
+				ctx.Send((ctx.PE()+1)%n, relay, nil, 64)
+			}
+		})
+		var qdAt sim.Time
+		m.OnQuiescence(func(at sim.Time) { qdAt = at })
+		m.Inject(0, relay, nil, 0, 0)
+		m.Run()
+		if hops != 20 {
+			t.Fatalf("relay ran %d hops, want 20", hops)
+		}
+		if qdAt == 0 {
+			t.Fatal("quiescence never detected")
+		}
+	})
+}
+
+func TestPersistentMessagesUGNI(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerUGNI})
+	peer := m.Net().P.CoresPerNode
+	var deliveries []sim.Time
+	recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		deliveries = append(deliveries, ctx.Now())
+	})
+	var handle charmgo.PersistentHandle
+	setup := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		h, err := ctx.CreatePersistent(peer, 1<<20)
+		if err != nil {
+			t.Fatalf("CreatePersistent: %v", err)
+		}
+		handle = h
+		for i := 0; i < 3; i++ {
+			if err := ctx.SendPersistent(handle, peer, recv, nil, 64<<10); err != nil {
+				t.Fatalf("SendPersistent: %v", err)
+			}
+		}
+	})
+	m.Inject(0, setup, nil, 0, 0)
+	m.Run()
+	if len(deliveries) != 3 {
+		t.Fatalf("persistent deliveries = %d, want 3", len(deliveries))
+	}
+}
+
+func TestPersistentFasterThanRendezvous(t *testing.T) {
+	// Figure 8(a): persistent messages cut the rendezvous overhead.
+	oneWay := func(persistent bool) sim.Time {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerUGNI})
+		peer := m.Net().P.CoresPerNode
+		var sentAt, recvAt sim.Time
+		recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { recvAt = ctx.Now() })
+		send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			if persistent {
+				h, err := ctx.CreatePersistent(peer, 64<<10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sentAt = ctx.Now()
+				if err := ctx.SendPersistent(h, peer, recv, nil, 64<<10); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				sentAt = ctx.Now()
+				ctx.Send(peer, recv, nil, 64<<10)
+			}
+		})
+		m.Inject(0, send, nil, 0, 0)
+		m.Run()
+		return recvAt - sentAt
+	}
+	reg, persist := oneWay(false), oneWay(true)
+	if persist >= reg {
+		t.Fatalf("persistent 64KB %v not faster than rendezvous %v", persist, reg)
+	}
+}
+
+func TestPersistentUnsupportedOnMPI(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerMPI})
+	var err error
+	h := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		_, err = ctx.CreatePersistent(1, 1024)
+	})
+	m.Inject(0, h, nil, 0, 0)
+	m.Run()
+	if err != lrts.ErrUnsupported {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestTracerRecordsProfile(t *testing.T) {
+	rec := trace.NewRecorder(2, 10*sim.Microsecond)
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1, CoresPerNode: 2, Tracer: rec})
+	work := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Compute(30 * sim.Microsecond)
+	})
+	seed := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(1, work, nil, 128)
+	})
+	m.Inject(0, seed, nil, 0, 0)
+	m.Run()
+	app, ovh := rec.Totals()
+	if app != 30*sim.Microsecond {
+		t.Fatalf("traced app time %v, want 30us", app)
+	}
+	if ovh <= 0 {
+		t.Fatal("no overhead traced")
+	}
+	if len(rec.Profile()) < 3 {
+		t.Fatalf("profile has %d bins, want >= 3", len(rec.Profile()))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() sim.Time {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 4, CoresPerNode: 2})
+		n := m.NumPEs()
+		var relay int
+		count := 0
+		relay = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			count++
+			if count < 100 {
+				ctx.Send((ctx.PE()*3+1)%n, relay, nil, 2048)
+			}
+		})
+		m.Inject(0, relay, nil, 0, 0)
+		return m.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two identical runs ended at %v and %v", a, b)
+	}
+}
+
+func TestInjectCountsForQuiescence(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1, CoresPerNode: 1})
+	ran := false
+	h := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { ran = true })
+	fired := false
+	m.OnQuiescence(func(at sim.Time) { fired = true })
+	m.Inject(0, h, nil, 0, 0)
+	m.Run()
+	if !ran || !fired {
+		t.Fatalf("ran=%v qd=%v", ran, fired)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// Three messages land while the PE is busy; they must execute in
+	// priority order (lower first), FIFO within a priority.
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 1, CoresPerNode: 2})
+	var order []string
+	tag := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		order = append(order, msg.Data.(string))
+	})
+	busy := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Compute(100 * sim.Microsecond) // hold PE 1 so the queue builds
+	})
+	seed := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(1, busy, nil, 8)
+		ctx.SendPrio(1, tag, "low-a", 8, 10)
+		ctx.SendPrio(1, tag, "urgent", 8, -5)
+		ctx.SendPrio(1, tag, "low-b", 8, 10)
+		ctx.SendPrio(1, tag, "normal", 8, 0)
+	})
+	m.Inject(0, seed, nil, 0, 0)
+	m.Run()
+	want := []string{"urgent", "normal", "low-a", "low-b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMessageConservationProperty(t *testing.T) {
+	// Property: for any random message storm on either layer, every sent
+	// message is processed exactly once (TotalProcessed == injected +
+	// handler-sent), on any machine shape.
+	f := func(seed uint64, nodesRaw, coresRaw uint8) bool {
+		nodes := int(nodesRaw)%3 + 1
+		cores := int(coresRaw)%4 + 1
+		for _, layer := range []charmgo.LayerKind{charmgo.LayerUGNI, charmgo.LayerMPI} {
+			m := charmgo.NewMachine(charmgo.MachineConfig{
+				Nodes: nodes, CoresPerNode: cores, Layer: layer,
+			})
+			n := m.NumPEs()
+			rng := sim.NewRNG(seed | 1)
+			sent := uint64(1) // the injection
+			var relay int
+			budget := 200
+			relay = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+				fanout := rng.Intn(3)
+				if budget < fanout {
+					fanout = 0
+				}
+				budget -= fanout
+				for i := 0; i < fanout; i++ {
+					sizes := []int{8, 512, 2048, 64 << 10}
+					ctx.Send(rng.Intn(n), relay, nil, sizes[rng.Intn(len(sizes))])
+					sent++
+				}
+			})
+			m.Inject(0, relay, nil, 8, 0)
+			m.Run()
+			if m.TotalProcessed() != sent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeMonotoneAcrossHandlers(t *testing.T) {
+	// Property: on one PE, handler start times never go backwards, and a
+	// message is never executed before it was sent.
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, CoresPerNode: 2})
+	n := m.NumPEs()
+	rng := sim.NewRNG(99)
+	last := make([]sim.Time, n)
+	count := 0
+	var relay int
+	relay = m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		if ctx.Now() < last[ctx.PE()] {
+			t.Errorf("PE %d time went backwards: %v after %v", ctx.PE(), ctx.Now(), last[ctx.PE()])
+		}
+		if ctx.Now() < msg.SentAt {
+			t.Errorf("message executed at %v before send at %v", ctx.Now(), msg.SentAt)
+		}
+		last[ctx.PE()] = ctx.Now()
+		count++
+		if count < 300 {
+			ctx.Send(rng.Intn(n), relay, nil, 1+rng.Intn(4096))
+		}
+	})
+	m.Inject(0, relay, nil, 8, 0)
+	m.Run()
+	if count != 300 {
+		t.Fatalf("relay ran %d times", count)
+	}
+}

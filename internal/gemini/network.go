@@ -1,0 +1,214 @@
+package gemini
+
+import (
+	"fmt"
+	"sort"
+
+	"charmgo/internal/sim"
+	"charmgo/internal/topology"
+)
+
+// Network is the simulated machine: a torus of nodes, each with one Gemini
+// NIC. PEs (processing elements, i.e. cores) are numbered densely:
+// pe = node*CoresPerNode + core.
+type Network struct {
+	Eng   *sim.Engine
+	Topo  topology.Torus
+	P     Params
+	nodes []*Node
+	links []*sim.Resource
+
+	// Statistics.
+	transfers uint64
+	bytes     int64
+}
+
+// Node is one compute node and its NIC.
+type Node struct {
+	ID  int
+	FMA *sim.Resource // shared FMA unit (also carries SMSG)
+	BTE *sim.Resource // shared block transfer engine
+}
+
+// NewNetwork builds a machine with the given node count. The torus shape is
+// chosen near-cubic via topology.Shape.
+func NewNetwork(eng *sim.Engine, nodes int, p Params) *Network {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("gemini: NewNetwork with %d nodes", nodes))
+	}
+	if p.CoresPerNode <= 0 {
+		panic("gemini: CoresPerNode must be positive")
+	}
+	topo := topology.Shape(nodes)
+	n := &Network{
+		Eng:   eng,
+		Topo:  topo,
+		P:     p,
+		nodes: make([]*Node, nodes),
+		links: make([]*sim.Resource, topo.NumLinks()),
+	}
+	clock := eng.Now
+	for i := range n.nodes {
+		fma := sim.NewGapResource(fmt.Sprintf("node%d.fma", i))
+		bte := sim.NewGapResource(fmt.Sprintf("node%d.bte", i))
+		fma.Clock, bte.Clock = clock, clock
+		n.nodes[i] = &Node{ID: i, FMA: fma, BTE: bte}
+	}
+	for i := range n.links {
+		n.links[i] = sim.NewGapResource(fmt.Sprintf("link%d", i))
+		n.links[i].Clock = clock
+	}
+	return n
+}
+
+// NumNodes reports the node count actually usable (<= Topo.Nodes()).
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumPEs reports nodes*coresPerNode.
+func (n *Network) NumPEs() int { return len(n.nodes) * n.P.CoresPerNode }
+
+// NodeOf maps a PE to its node.
+func (n *Network) NodeOf(pe int) int {
+	if pe < 0 || pe >= n.NumPEs() {
+		panic(fmt.Sprintf("gemini: PE %d out of range [0,%d)", pe, n.NumPEs()))
+	}
+	return pe / n.P.CoresPerNode
+}
+
+// CoreOf maps a PE to its core index within the node.
+func (n *Network) CoreOf(pe int) int { return pe % n.P.CoresPerNode }
+
+// Node returns the node structure.
+func (n *Network) Node(id int) *Node { return n.nodes[id] }
+
+// SameNode reports whether two PEs share a node.
+func (n *Network) SameNode(a, b int) bool { return n.NodeOf(a) == n.NodeOf(b) }
+
+// Stats reports transfer counters.
+func (n *Network) Stats() (transfers uint64, bytes int64) { return n.transfers, n.bytes }
+
+func (n *Network) unitRes(node int, u Unit) *sim.Resource {
+	if u == UnitBTE {
+		return n.nodes[node].BTE
+	}
+	return n.nodes[node].FMA
+}
+
+// pathLatency is the pure flight latency between two nodes (no
+// serialization): injection/ejection plus per-hop router latency.
+func (n *Network) pathLatency(a, b int) sim.Time {
+	if a == b {
+		return n.P.LoopbackLatency
+	}
+	return n.P.InjectionLatency + sim.Time(n.Topo.Hops(a, b))*n.P.HopLatency
+}
+
+// ControlLatency reports the one-way flight time of a small control packet
+// from one node to another with no bandwidth booking.
+func (n *Network) ControlLatency(a, b int) sim.Time { return n.pathLatency(a, b) }
+
+// Transfer books a data movement of size bytes from srcNode to dstNode on
+// the given unit, ready to start no earlier than `ready`. It books the
+// source NIC engine and every directional link on the dimension-ordered
+// path (wormhole approximation: a common start time after the most-loaded
+// link frees, one serialization term at the bottleneck bandwidth, per-hop
+// latency). It returns:
+//
+//	srcDone:   the source engine is free / source buffer no longer in use
+//	dstArrive: the last byte has landed in destination memory
+func (n *Network) Transfer(srcNode, dstNode, size int, u Unit, ready sim.Time) (srcDone, dstArrive sim.Time) {
+	if size < 0 {
+		size = 0
+	}
+	n.transfers++
+	n.bytes += int64(size)
+	overhead, bw := n.P.unitCosts(u)
+	serUnit := sim.DurationOf(size, bw)
+	engine := n.unitRes(srcNode, u)
+
+	if srcNode == dstNode {
+		// NIC loopback. Contends with inter-node traffic on the same engine
+		// (the behaviour Section IV.C warns about).
+		ser := serUnit
+		if lb := sim.DurationOf(size, n.P.LoopbackBW); lb > ser {
+			ser = lb
+		}
+		_, e := engine.Acquire(ready, overhead+ser)
+		return e, e + n.P.LoopbackLatency
+	}
+
+	es, ee := engine.Acquire(ready, overhead+serUnit)
+	launch := es + overhead
+	dstArrive = n.bookPath(srcNode, dstNode, size, serUnit, launch)
+	return ee, dstArrive
+}
+
+// bookPath advances a message head along the dimension-ordered path,
+// booking each directional link in its earliest gap (wormhole-style: the
+// head waits where a link is busy, serialization overlaps across hops).
+// It returns the arrival time of the last byte in destination memory.
+func (n *Network) bookPath(srcNode, dstNode, size int, serUnit, launch sim.Time) sim.Time {
+	path := n.Topo.Path(srcNode, dstNode)
+	serLink := sim.DurationOf(size, n.P.LinkBW)
+	ser := serUnit
+	if serLink > ser {
+		ser = serLink
+	}
+	t := launch
+	lastStart := launch
+	for _, l := range path {
+		s, _ := n.links[n.Topo.LinkIndex(l)].Acquire(t, serLink)
+		lastStart = s
+		t = s + n.P.HopLatency
+	}
+	return lastStart + n.P.HopLatency + n.P.InjectionLatency + ser
+}
+
+// Get books a read transaction: the requester's engine sends a read request
+// to the target node, and the data flows back along target->requester
+// links. It returns when the request engine is done issuing and when the
+// data has fully arrived at the requester.
+func (n *Network) Get(requester, target, size int, u Unit, ready sim.Time) (reqDone, dataArrive sim.Time) {
+	if size < 0 {
+		size = 0
+	}
+	n.transfers++
+	n.bytes += int64(size)
+	overhead, bw := n.P.unitCosts(u)
+	serUnit := sim.DurationOf(size, bw)
+	engine := n.unitRes(requester, u)
+
+	if requester == target {
+		ser := serUnit
+		if lb := sim.DurationOf(size, n.P.LoopbackBW); lb > ser {
+			ser = lb
+		}
+		_, e := engine.Acquire(ready, overhead+ser)
+		return e, e + n.P.LoopbackLatency
+	}
+
+	es, ee := engine.Acquire(ready, overhead+serUnit)
+	reqArrive := es + overhead + n.pathLatency(requester, target)
+	dataArrive = n.bookPath(target, requester, size, serUnit, reqArrive)
+	return ee, dataArrive
+}
+
+// BusiestResources reports the k busiest NIC engines and links (diagnostic
+// aid: "name busy=<total> freeAt=<t> acquires=<n>").
+func (n *Network) BusiestResources(k int) []string {
+	all := make([]*sim.Resource, 0, len(n.links)+2*len(n.nodes))
+	for _, nd := range n.nodes {
+		all = append(all, nd.FMA, nd.BTE)
+	}
+	all = append(all, n.links...)
+	sort.Slice(all, func(i, j int) bool { return all[i].BusyTotal() > all[j].BusyTotal() })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, 0, k)
+	for _, r := range all[:k] {
+		out = append(out, fmt.Sprintf("%s busy=%v freeAt=%v acquires=%d",
+			r.Name(), r.BusyTotal(), r.FreeAt(), r.Acquires()))
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package gemini
+
+import (
+	"testing"
+	"testing/quick"
+
+	"charmgo/internal/sim"
+)
+
+func newNet(nodes int) *Network {
+	return NewNetwork(sim.NewEngine(), nodes, DefaultParams())
+}
+
+func TestPEMapping(t *testing.T) {
+	n := newNet(4)
+	if n.NumPEs() != 4*24 {
+		t.Fatalf("NumPEs = %d, want 96", n.NumPEs())
+	}
+	if n.NodeOf(0) != 0 || n.NodeOf(23) != 0 || n.NodeOf(24) != 1 {
+		t.Fatal("NodeOf mapping wrong")
+	}
+	if n.CoreOf(25) != 1 {
+		t.Fatalf("CoreOf(25) = %d, want 1", n.CoreOf(25))
+	}
+	if !n.SameNode(0, 23) || n.SameNode(23, 24) {
+		t.Fatal("SameNode wrong")
+	}
+}
+
+func TestNodeOfPanicsOutOfRange(t *testing.T) {
+	n := newNet(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodeOf out of range did not panic")
+		}
+	}()
+	n.NodeOf(n.NumPEs())
+}
+
+func TestTransferLatencyIncreasesWithSize(t *testing.T) {
+	for _, u := range []Unit{UnitFMA, UnitBTE, UnitSMSG} {
+		n := newNet(8)
+		_, small := n.Transfer(0, 1, 8, u, 0)
+		n2 := newNet(8)
+		_, large := n2.Transfer(0, 1, 1<<20, u, 0)
+		if large <= small {
+			t.Fatalf("%v: 1MB (%v) not slower than 8B (%v)", u, large, small)
+		}
+	}
+}
+
+func TestFMABeatsBTEForSmall(t *testing.T) {
+	a, b := newNet(8), newNet(8)
+	_, fma := a.Transfer(0, 1, 64, UnitFMA, 0)
+	_, bte := b.Transfer(0, 1, 64, UnitBTE, 0)
+	if fma >= bte {
+		t.Fatalf("64B: FMA %v should beat BTE %v", fma, bte)
+	}
+}
+
+func TestBTEBeatsFMAForLarge(t *testing.T) {
+	a, b := newNet(8), newNet(8)
+	_, fma := a.Transfer(0, 1, 1<<20, UnitFMA, 0)
+	_, bte := b.Transfer(0, 1, 1<<20, UnitBTE, 0)
+	if bte >= fma {
+		t.Fatalf("1MB: BTE %v should beat FMA %v", bte, fma)
+	}
+}
+
+func TestFMABTECrossoverInPaperRange(t *testing.T) {
+	// The paper: "The crossover point between FMA and BTE for most
+	// applications is between 2048 and 8192 bytes."
+	cross := 0
+	for size := 256; size <= 64<<10; size *= 2 {
+		a, b := newNet(8), newNet(8)
+		_, fma := a.Transfer(0, 1, size, UnitFMA, 0)
+		_, bte := b.Transfer(0, 1, size, UnitBTE, 0)
+		if bte < fma {
+			cross = size
+			break
+		}
+	}
+	if cross < 2048 || cross > 8192 {
+		t.Fatalf("FMA/BTE latency crossover at %d bytes, want within [2048, 8192]", cross)
+	}
+}
+
+func TestTransferEngineSerializes(t *testing.T) {
+	n := newNet(8)
+	// Two BTE transfers posted at the same instant from the same node must
+	// serialize on the engine.
+	_, first := n.Transfer(0, 1, 1<<20, UnitBTE, 0)
+	_, second := n.Transfer(0, 2, 1<<20, UnitBTE, 0)
+	if second < first {
+		t.Fatalf("second transfer arrived (%v) before first (%v) despite shared engine", second, first)
+	}
+	ser := sim.DurationOf(1<<20, DefaultParams().BTEBW)
+	if second-first < ser/2 {
+		t.Fatalf("transfers overlapped too much: gap %v, serialization %v", second-first, ser)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	// Transfers from different nodes crossing the same link must contend.
+	n := newNet(64) // 4x4x4
+	// 0->2 and 1->2 share the link 1->2 in x (dimension-ordered).
+	_, a := n.Transfer(0, 2, 1<<20, UnitBTE, 0)
+	_, b := n.Transfer(1, 2, 1<<20, UnitBTE, 0)
+	free := newNet(64)
+	_, bAlone := free.Transfer(1, 2, 1<<20, UnitBTE, 0)
+	if b <= bAlone {
+		t.Fatalf("contended transfer (%v) not slower than uncontended (%v); a=%v", b, bAlone, a)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	n := newNet(64)
+	_, a := n.Transfer(0, 1, 1<<20, UnitBTE, 0)
+	_, b := n.Transfer(2, 3, 1<<20, UnitBTE, 0)
+	solo := newNet(64)
+	_, bAlone := solo.Transfer(2, 3, 1<<20, UnitBTE, 0)
+	if b != bAlone {
+		t.Fatalf("disjoint transfer delayed: %v vs solo %v (a=%v)", b, bAlone, a)
+	}
+}
+
+func TestLoopbackUsesEngine(t *testing.T) {
+	n := newNet(4)
+	_, intra := n.Transfer(0, 0, 64<<10, UnitFMA, 0)
+	if intra <= 0 {
+		t.Fatal("loopback transfer has no cost")
+	}
+	// The engine must now be busy: an inter-node transfer posted at 0 is
+	// delayed behind the loopback.
+	_, inter := n.Transfer(0, 1, 64<<10, UnitFMA, 0)
+	solo := newNet(4)
+	_, interAlone := solo.Transfer(0, 1, 64<<10, UnitFMA, 0)
+	if inter <= interAlone {
+		t.Fatalf("loopback did not contend with inter-node FMA: %v vs %v", inter, interAlone)
+	}
+}
+
+func TestGetSlowerThanPutSmall(t *testing.T) {
+	// A GET pays an extra one-way request flight.
+	a, b := newNet(8), newNet(8)
+	_, put := a.Transfer(0, 1, 8, UnitFMA, 0)
+	_, get := b.Get(0, 1, 8, UnitFMA, 0)
+	if get <= put {
+		t.Fatalf("8B GET (%v) should be slower than PUT (%v)", get, put)
+	}
+}
+
+func TestGetIntraNode(t *testing.T) {
+	n := newNet(4)
+	done, arrive := n.Get(0, 0, 4096, UnitFMA, 0)
+	if arrive < done || arrive <= 0 {
+		t.Fatalf("intra-node get: done=%v arrive=%v", done, arrive)
+	}
+}
+
+func TestControlLatencyGrowsWithDistance(t *testing.T) {
+	n := newNet(64) // 4x4x4
+	near := n.ControlLatency(0, 1)
+	far := n.ControlLatency(0, n.Topo.Node(2, 2, 2))
+	if far <= near {
+		t.Fatalf("ControlLatency near=%v far=%v", near, far)
+	}
+}
+
+func TestSMSGMaxSizeShrinksWithJob(t *testing.T) {
+	if SMSGMaxSize(256) != 1024 {
+		t.Fatalf("small job SMSG max = %d, want 1024", SMSGMaxSize(256))
+	}
+	prev := SMSGMaxSize(1)
+	for _, pes := range []int{1024, 4096, 16384, 100000} {
+		cur := SMSGMaxSize(pes)
+		if cur > prev {
+			t.Fatalf("SMSGMaxSize increased with job size at %d PEs", pes)
+		}
+		prev = cur
+	}
+}
+
+func TestCalibrationSmallSMSGLatency(t *testing.T) {
+	// Pure-uGNI 8B one-way should land near the paper's 1.2us once the
+	// benchmark-level CPU overhead (~0.3us) is added; the wire portion here
+	// should be well under 1.5us but over 0.5us.
+	n := newNet(16)
+	_, arrive := n.Transfer(0, 1, 8, UnitSMSG, 0)
+	if arrive < 500*sim.Nanosecond || arrive > 1500*sim.Nanosecond {
+		t.Fatalf("8B SMSG wire latency = %v, want 0.5-1.5us", arrive)
+	}
+}
+
+func TestCalibrationBTEBandwidth(t *testing.T) {
+	// 4MB BTE transfer should sustain ~6 GB/s: ~690us.
+	n := newNet(8)
+	_, arrive := n.Transfer(0, 1, 4<<20, UnitBTE, 0)
+	if arrive < 500*sim.Microsecond || arrive > 1000*sim.Microsecond {
+		t.Fatalf("4MB BTE latency = %v, want ~690us", arrive)
+	}
+}
+
+func TestTransferOrderingProperty(t *testing.T) {
+	// Property: for any (src,dst,size), srcDone and dstArrive are
+	// non-negative and dstArrive >= launch conditions; repeated transfers
+	// have non-decreasing engine completion.
+	f := func(srcN, dstN uint8, size uint16) bool {
+		n := newNet(16)
+		src := int(srcN) % 16
+		dst := int(dstN) % 16
+		var lastDone sim.Time
+		for i := 0; i < 3; i++ {
+			done, arrive := n.Transfer(src, dst, int(size), UnitFMA, 0)
+			if done < lastDone || arrive < 0 {
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	if UnitFMA.String() != "FMA" || UnitBTE.String() != "BTE" || UnitSMSG.String() != "SMSG" {
+		t.Fatal("Unit.String wrong")
+	}
+	if Unit(99).String() != "unit?" {
+		t.Fatal("unknown unit string")
+	}
+}
+
+func TestGapFillingAvoidsArtificialSerialization(t *testing.T) {
+	// A transfer posted with a far-future ready time must not delay an
+	// earlier-ready transfer posted afterwards (the engine sits idle in
+	// between). This regression guards the gap-filling booking model.
+	n := newNet(8)
+	_, lateArrive := n.Transfer(0, 1, 4096, UnitFMA, 500*sim.Microsecond)
+	_, earlyArrive := n.Transfer(0, 1, 4096, UnitFMA, 0)
+	if earlyArrive >= lateArrive {
+		t.Fatalf("early transfer (%v) was serialized behind a future booking (%v)",
+			earlyArrive, lateArrive)
+	}
+	if earlyArrive > 10*sim.Microsecond {
+		t.Fatalf("early transfer delayed to %v despite idle engine", earlyArrive)
+	}
+}
+
+func TestBusiestResourcesReports(t *testing.T) {
+	n := newNet(4)
+	n.Transfer(0, 1, 1<<20, UnitBTE, 0)
+	out := n.BusiestResources(3)
+	if len(out) != 3 {
+		t.Fatalf("BusiestResources returned %d entries", len(out))
+	}
+	// The top entry is the bottleneck resource: for a 1MB BTE transfer the
+	// link serialization (4.7 GB/s) exceeds the engine time (6.1 GB/s).
+	if out[0] == "" {
+		t.Fatal("empty top resource")
+	}
+}

@@ -1,0 +1,38 @@
+package lrts
+
+import (
+	"errors"
+	"testing"
+
+	"charmgo/internal/sim"
+)
+
+func TestErrUnsupportedIsComparable(t *testing.T) {
+	var err error = ErrUnsupported
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatal("ErrUnsupported does not match itself")
+	}
+	if err.Error() == "" {
+		t.Fatal("ErrUnsupported has no message")
+	}
+}
+
+func TestMessageReleaseContract(t *testing.T) {
+	released := 0
+	msg := &Message{
+		Data: "x", Size: 128, SrcPE: 1, DstPE: 2, Handler: 3,
+		Release: func() sim.Time { released++; return 42 },
+	}
+	if cost := msg.Release(); cost != 42 {
+		t.Fatalf("Release cost = %v", cost)
+	}
+	if released != 1 {
+		t.Fatal("Release did not run")
+	}
+	// The scheduler nils Release after invoking it; the zero value must be
+	// safe for messages without buffers.
+	plain := &Message{}
+	if plain.Release != nil {
+		t.Fatal("zero-value message has a Release hook")
+	}
+}

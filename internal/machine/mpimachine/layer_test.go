@@ -1,0 +1,117 @@
+package mpimachine_test
+
+import (
+	"testing"
+
+	"charmgo"
+	"charmgo/internal/sim"
+)
+
+func oneWay(t *testing.T, size int, intra bool) sim.Time {
+	t.Helper()
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerMPI})
+	peer := m.Net().P.CoresPerNode
+	if intra {
+		peer = 1
+	}
+	var sentAt, recvAt sim.Time
+	recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) { recvAt = ctx.Now() })
+	send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		sentAt = ctx.Now()
+		ctx.Send(peer, recv, nil, size)
+	})
+	m.Inject(0, send, nil, 0, 0)
+	m.Run()
+	if recvAt == 0 {
+		t.Fatalf("%d-byte message never delivered", size)
+	}
+	return recvAt - sentAt
+}
+
+func TestDeliversAllSizes(t *testing.T) {
+	prev := sim.Time(0)
+	for _, size := range []int{8, 512, 4096, 64 << 10, 1 << 20} {
+		l := oneWay(t, size, false)
+		if l <= prev/2 {
+			t.Fatalf("size %d latency %v implausibly below smaller size %v", size, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestIntraNodeDelivery(t *testing.T) {
+	inter := oneWay(t, 2048, false)
+	intra := oneWay(t, 2048, true)
+	if intra >= inter {
+		t.Fatalf("intra-node 2KB (%v) not faster than inter-node (%v)", intra, inter)
+	}
+}
+
+func TestStatsExposeMPICounters(t *testing.T) {
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerMPI})
+	peer := m.Net().P.CoresPerNode
+	recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {})
+	send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(peer, recv, nil, 256)     // eager
+		ctx.Send(peer, recv, nil, 256<<10) // rendezvous
+	})
+	m.Inject(0, send, nil, 0, 0)
+	m.Run()
+	st := m.Layer().Stats()
+	if st["sends"] != 2 {
+		t.Fatalf("sends = %d", st["sends"])
+	}
+	if st["mpi_eager_sent"] != 1 || st["mpi_rndv_sent"] != 1 {
+		t.Fatalf("protocol split wrong: %v", st)
+	}
+	if st["mpi_recvs"] != 2 {
+		t.Fatalf("recvs = %d", st["mpi_recvs"])
+	}
+}
+
+func TestRendezvousAlwaysMissesRegistrationCache(t *testing.T) {
+	// CHARM++-on-MPI allocates a fresh buffer per message, so uDREG never
+	// hits (the paper's explanation for Figure 9a).
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerMPI})
+	peer := m.Net().P.CoresPerNode
+	recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {})
+	send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		for i := 0; i < 4; i++ {
+			ctx.Send(peer, recv, nil, 64<<10)
+		}
+	})
+	m.Inject(0, send, nil, 0, 0)
+	m.Run()
+	st := m.Layer().Stats()
+	if st["mpi_udreg_hits"] != 0 {
+		t.Fatalf("udreg hits = %d, want 0", st["mpi_udreg_hits"])
+	}
+	if st["mpi_udreg_misses"] < 8 {
+		t.Fatalf("udreg misses = %d, want >= 8 (send+recv per message)", st["mpi_udreg_misses"])
+	}
+}
+
+func TestBlockingRecvSerializesLargeReceives(t *testing.T) {
+	// Two 1MB messages to one PE: the second can only be received after
+	// the first's blocking MPI_Recv completes, so the deliveries are
+	// separated by at least a transfer time.
+	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Layer: charmgo.LayerMPI})
+	peer := m.Net().P.CoresPerNode
+	var deliveries []sim.Time
+	recv := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		deliveries = append(deliveries, ctx.Now())
+	})
+	send := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+		ctx.Send(peer, recv, nil, 1<<20)
+		ctx.Send(peer, recv, nil, 1<<20)
+	})
+	m.Inject(0, send, nil, 0, 0)
+	m.Run()
+	if len(deliveries) != 2 {
+		t.Fatalf("%d deliveries", len(deliveries))
+	}
+	gap := deliveries[1] - deliveries[0]
+	if gap < 100*sim.Microsecond {
+		t.Fatalf("second 1MB delivery only %v after first — blocking Recv not modelled", gap)
+	}
+}

@@ -1,0 +1,572 @@
+// Package ugnimachine is the paper's primary contribution rebuilt in Go:
+// the uGNI-based LRTS machine layer for the CHARM++-style runtime
+// (Sections III-C and IV).
+//
+// Protocol summary:
+//
+//   - messages up to the SMSG cap travel as GNI SMSG mailbox messages;
+//   - larger messages use the GET-based rendezvous of Figure 5: the sender
+//     registers (or pool-allocates) the message, sends a small INIT_TAG
+//     control message, the receiver allocates + registers a landing buffer
+//     and posts an FMA/BTE GET, and on completion delivers the message and
+//     returns an ACK_TAG so the sender can release its buffer;
+//   - persistent channels (Figure 7a) skip allocation and the control
+//     message entirely: the sender PUTs straight into the pre-registered
+//     persistent buffer and follows with one PERSISTENT_TAG notification;
+//   - intra-node messages go through the pxshm shared-memory path
+//     (Section IV-C) in double- or single-copy mode, or through NIC
+//     loopback when configured to (the contention case the paper warns
+//     about).
+//
+// The memory pool optimization (Section IV-B) replaces per-message
+// malloc+register with pre-registered pool allocations on both sides.
+package ugnimachine
+
+import (
+	"fmt"
+
+	"charmgo/internal/gemini"
+	"charmgo/internal/lrts"
+	"charmgo/internal/mem"
+	"charmgo/internal/shm"
+	"charmgo/internal/sim"
+	"charmgo/internal/ugni"
+)
+
+// IntraMode selects the intra-node transport.
+type IntraMode int
+
+const (
+	// IntraPxshmSingle: POSIX-shm with the sender-side single-copy scheme.
+	IntraPxshmSingle IntraMode = iota
+	// IntraPxshmDouble: POSIX-shm with copies on both sides.
+	IntraPxshmDouble
+	// IntraNIC: route intra-node traffic through the Gemini NIC loopback.
+	IntraNIC
+)
+
+// String names the mode.
+func (m IntraMode) String() string {
+	switch m {
+	case IntraPxshmSingle:
+		return "pxshm-single"
+	case IntraPxshmDouble:
+		return "pxshm-double"
+	case IntraNIC:
+		return "nic-loopback"
+	}
+	return "intra?"
+}
+
+// Config tunes the layer; the zero value is not useful, use DefaultConfig.
+type Config struct {
+	// UseMempool enables the Section IV-B registered memory pool. When
+	// false every large message pays malloc+register (+free+deregister),
+	// reproducing the "initial version" of Figure 6.
+	UseMempool bool
+	// Intra selects the intra-node transport.
+	Intra IntraMode
+	// Pxshm is the shared-memory cost model.
+	Pxshm shm.Model
+	// BTEThreshold: RDMA GETs at or above this size use the BTE, below it
+	// the FMA unit.
+	BTEThreshold int
+	// UseMSGQ routes small messages through the per-node message queues
+	// instead of per-PE SMSG mailboxes (paper Section II-B): memory scales
+	// with nodes rather than PE pairs, at higher per-message latency.
+	UseMSGQ bool
+	// SMP enables the node-aware mode the paper names as future work
+	// (Section VII): one communication thread per node drives the NIC
+	// (workers hand sends off to it and receive-side protocol work runs on
+	// it, keeping worker PEs free), and intra-node messages pass by
+	// pointer through node-shared queues with no copy at all.
+	SMP bool
+	// SMPHandoff is the worker->comm-thread queue cost in SMP mode.
+	SMPHandoff sim.Time
+	// PutRendezvous switches the large-message protocol to the PUT-based
+	// scheme the paper rejects in Section III-C ("the PUT-based scheme
+	// requires one extra rendezvous message"): INIT -> receiver allocates
+	// and returns a CTS with its buffer -> sender PUTs -> delivery on the
+	// remote completion. Kept as an ablation of the design choice.
+	PutRendezvous bool
+	// CtrlMsgSize is the wire size of INIT/ACK control messages.
+	CtrlMsgSize int
+	// PoolSlabBytes sizes pool expansion slabs (0 = pool default).
+	PoolSlabBytes int
+}
+
+// DefaultConfig returns the configuration the paper's final system uses:
+// memory pool on, single-copy pxshm, BTE for >= 4 KiB.
+func DefaultConfig() Config {
+	return Config{
+		UseMempool:   true,
+		Intra:        IntraPxshmSingle,
+		Pxshm:        shm.DefaultModel(),
+		BTEThreshold: gemini.FMABTECrossover,
+		CtrlMsgSize:  64,
+	}
+}
+
+// SMSG tags of the rendezvous protocol.
+const (
+	tagDirect  uint8 = iota // small message: payload is the app message
+	tagInit                 // INIT_TAG: rendezvous request
+	tagAck                  // ACK_TAG: sender may release its buffer
+	tagPersist              // PERSISTENT_TAG: persistent PUT notification
+	tagCTS                  // clear-to-send (PUT-based rendezvous ablation)
+)
+
+// rdmaInit is the INIT_TAG control payload of Figure 5.
+type rdmaInit struct {
+	id   uint64
+	msg  *lrts.Message
+	size int
+}
+
+// rdmaAck is the ACK_TAG control payload.
+type rdmaAck struct {
+	id uint64
+}
+
+// pendingSend is sender-side rendezvous state awaiting the ACK (GET
+// scheme) or the CTS (PUT scheme).
+type pendingSend struct {
+	bufCap int // pool capacity or registered size
+	msg    *lrts.Message
+}
+
+// ctsMsg is the clear-to-send payload of the PUT-based ablation: the
+// receiver's landing buffer is allocated and registered.
+type ctsMsg struct {
+	id     uint64
+	bufCap int
+}
+
+// putDataState tags the PUT descriptor of the PUT-based rendezvous.
+type putDataState struct {
+	id     uint64
+	msg    *lrts.Message
+	bufCap int // receiver-side landing capacity
+}
+
+// persistNotify is the PERSISTENT_TAG payload.
+type persistNotify struct {
+	handle lrts.PersistentHandle
+	seq    uint64
+	msg    *lrts.Message
+}
+
+// persistChannel is the per-channel state of a persistent connection.
+type persistChannel struct {
+	src, dst int
+	maxBytes int
+	// dataAt maps send sequence -> virtual time the PUT's data landed.
+	dataAt map[uint64]sim.Time
+	// early holds notifications that arrived before their data event.
+	early map[uint64]*lrts.Message
+	seq   uint64
+}
+
+// Layer implements lrts.Layer over uGNI.
+type Layer struct {
+	gni  *ugni.GNI
+	cfg  Config
+	host lrts.Host
+
+	smsgMax int
+	pools   []*mem.Pool
+	rxCQ    []*ugni.CQ
+	rdmaCQ  []*ugni.CQ
+	commCPU []*sim.Resource // per-node comm thread (SMP mode)
+
+	pending  map[uint64]*pendingSend
+	nextID   uint64
+	channels []*persistChannel
+
+	stats map[string]int64
+}
+
+// New builds the layer over a GNI instance. Call converse.NewMachine (which
+// invokes Start) before sending.
+func New(g *ugni.GNI, cfg Config) *Layer {
+	if cfg.CtrlMsgSize <= 0 {
+		cfg.CtrlMsgSize = 64
+	}
+	if cfg.BTEThreshold <= 0 {
+		cfg.BTEThreshold = gemini.FMABTECrossover
+	}
+	if cfg.SMPHandoff <= 0 {
+		cfg.SMPHandoff = 80 * sim.Nanosecond
+	}
+	return &Layer{
+		gni:     g,
+		cfg:     cfg,
+		smsgMax: g.MaxSmsgSize(),
+		pending: make(map[uint64]*pendingSend),
+		stats:   make(map[string]int64),
+	}
+}
+
+// Name implements lrts.Layer.
+func (l *Layer) Name() string { return "ugni" }
+
+// Stats implements lrts.Layer.
+func (l *Layer) Stats() map[string]int64 {
+	out := make(map[string]int64, len(l.stats)+2)
+	for k, v := range l.stats {
+		out[k] = v
+	}
+	reg := l.gni.RegisteredBytes()
+	for _, p := range l.pools {
+		reg += p.Stats().RegisteredBytes
+	}
+	out["registered_bytes"] = reg
+	out["mailbox_bytes"] = l.gni.MailboxBytes()
+	out["msgq_bytes"] = l.gni.MsgqBytes()
+	return out
+}
+
+func (l *Layer) bump(key string) { l.stats[key]++ }
+
+// Start implements lrts.Layer: create per-PE CQs and pools and attach the
+// progress hooks.
+func (l *Layer) Start(h lrts.Host) {
+	l.host = h
+	n := h.NumPEs()
+	l.rxCQ = make([]*ugni.CQ, n)
+	l.rdmaCQ = make([]*ugni.CQ, n)
+	if l.cfg.UseMempool {
+		l.pools = make([]*mem.Pool, n)
+	}
+	if l.cfg.SMP {
+		for node := 0; node < l.gni.Net.NumNodes(); node++ {
+			l.commCPU = append(l.commCPU, sim.NewResource(fmt.Sprintf("node%d.commthread", node)))
+		}
+	}
+	for pe := 0; pe < n; pe++ {
+		pe := pe
+		rx := l.gni.CqCreate(fmt.Sprintf("pe%d.smsg", pe))
+		rx.OnEvent = func(ev ugni.Event) { l.onSmsg(pe, ev) }
+		l.gni.AttachSmsgCQ(pe, rx)
+		l.rxCQ[pe] = rx
+
+		rc := l.gni.CqCreate(fmt.Sprintf("pe%d.rdma", pe))
+		rc.OnEvent = func(ev ugni.Event) { l.onRdma(pe, ev) }
+		l.rdmaCQ[pe] = rc
+
+		if l.cfg.UseMempool {
+			l.pools[pe] = mem.NewPool(mem.PoolConfig{
+				Model:    l.mem(),
+				SlabSize: l.cfg.PoolSlabBytes,
+			})
+		}
+	}
+}
+
+func (l *Layer) mem() mem.CostModel { return l.gni.Net.P.Mem }
+
+// allocBuf charges for obtaining a registered buffer of size bytes on pe
+// and returns the capacity to release later.
+func (l *Layer) allocBuf(pe, size int) (capacity int, cost sim.Time) {
+	if l.cfg.UseMempool {
+		return l.pools[pe].Alloc(size)
+	}
+	m := l.mem()
+	return size, m.Malloc(size) + m.Register(size)
+}
+
+// freeBuf charges for releasing a registered buffer.
+func (l *Layer) freeBuf(pe, capacity int) sim.Time {
+	if l.cfg.UseMempool {
+		return l.pools[pe].Free(capacity)
+	}
+	m := l.mem()
+	return m.Deregister() + m.Free()
+}
+
+// allocMsgBuf charges for a plain (unregistered) runtime message buffer —
+// the landing space a small message is copied into. With the pool this is
+// the same cheap freelist operation; without it, an ordinary malloc.
+func (l *Layer) allocMsgBuf(pe, size int) (capacity int, cost sim.Time) {
+	if l.cfg.UseMempool {
+		return l.pools[pe].Alloc(size)
+	}
+	return size, l.mem().Malloc(size)
+}
+
+// freeMsgBuf releases a buffer from allocMsgBuf.
+func (l *Layer) freeMsgBuf(pe, capacity int) sim.Time {
+	if l.cfg.UseMempool {
+		return l.pools[pe].Free(capacity)
+	}
+	return l.mem().Free()
+}
+
+// progress books receive-side protocol work starting no earlier than at
+// and returns the completion time. In SMP mode the work runs on the node's
+// comm thread (the worker PE stays free); otherwise it runs on — and is
+// attributed to — pe's own CPU.
+func (l *Layer) progress(pe int, at, work sim.Time) sim.Time {
+	if l.cfg.SMP {
+		_, e := l.commCPU[l.gni.Net.NodeOf(pe)].Acquire(at, work)
+		return e
+	}
+	s, e := l.host.CPU(pe).Acquire(at, work)
+	l.host.NoteOverhead(pe, s, e)
+	return e
+}
+
+// sendStart returns the time the NIC-facing send work may begin and
+// charges the calling worker. In SMP mode the worker only pays the
+// hand-off and the comm thread runs the send-side CPU work; otherwise the
+// worker pays it inline.
+func (l *Layer) sendStart(ctx lrts.SendContext, work sim.Time) sim.Time {
+	if l.cfg.SMP {
+		ctx.Charge(l.cfg.SMPHandoff)
+		node := l.gni.Net.NodeOf(ctx.PE())
+		_, e := l.commCPU[node].Acquire(ctx.Now(), work)
+		return e
+	}
+	ctx.Charge(work)
+	return ctx.Now()
+}
+
+// SyncSend implements LrtsSyncSend (paper Section III-B): non-blocking,
+// message handed to the network or buffered.
+func (l *Layer) SyncSend(ctx lrts.SendContext, msg *lrts.Message) {
+	net := l.gni.Net
+	if net.SameNode(msg.SrcPE, msg.DstPE) && l.cfg.Intra != IntraNIC {
+		l.sendIntra(ctx, msg)
+		return
+	}
+	if msg.Size <= l.smsgMax {
+		l.sendSmall(ctx, msg)
+		return
+	}
+	l.sendLarge(ctx, msg)
+}
+
+// sendSmall ships the message in a single SMSG (or MSGQ when configured).
+// The send CPU is charged before the wire send: the NIC only sees the
+// message once the host has issued it.
+func (l *Layer) sendSmall(ctx lrts.SendContext, msg *lrts.Message) {
+	if l.cfg.UseMSGQ {
+		l.bump("msgq_sent")
+		cpu := l.gni.Net.P.HostSendCPU + l.gni.Net.P.MSGQExtraOverhead/2
+		at := l.sendStart(ctx, cpu)
+		if _, err := l.gni.MsgqSend(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at); err != nil {
+			panic(fmt.Sprintf("ugnimachine: msgq send: %v", err))
+		}
+		return
+	}
+	l.bump("smsg_sent")
+	at := l.sendStart(ctx, l.gni.Net.P.HostSendCPU)
+	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at, nil); err != nil {
+		panic(fmt.Sprintf("ugnimachine: smsg send: %v", err))
+	}
+}
+
+// sendLarge runs the GET-based rendezvous of Figure 5.
+func (l *Layer) sendLarge(ctx lrts.SendContext, msg *lrts.Message) {
+	l.bump("rdma_sent")
+	capacity, allocCost := l.allocBuf(msg.SrcPE, msg.Size)
+	ctx.Charge(allocCost) // message copied/built in registered memory
+	id := l.nextID
+	l.nextID++
+	l.pending[id] = &pendingSend{bufCap: capacity, msg: msg}
+	init := &rdmaInit{id: id, msg: msg, size: msg.Size}
+	at := l.sendStart(ctx, l.gni.Net.P.HostSendCPU)
+	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagInit, l.cfg.CtrlMsgSize, init, at, nil); err != nil {
+		panic(fmt.Sprintf("ugnimachine: init send: %v", err))
+	}
+}
+
+// sendIntra ships the message over pxshm — or, in SMP mode, passes the
+// pointer through the node-shared queue with no copy at all (the paper's
+// Section VII motivation: "the intra-node communication via POSIX shared
+// memory is still quite slow due to memory copy").
+func (l *Layer) sendIntra(ctx lrts.SendContext, msg *lrts.Message) {
+	l.bump("intra_sent")
+	if l.cfg.SMP {
+		ctx.Charge(l.cfg.SMPHandoff)
+		arrive := ctx.Now() + l.cfg.Pxshm.NotifyLatency
+		dst := msg.DstPE
+		l.host.Eng().At(arrive, func() {
+			s, e := l.host.CPU(dst).Acquire(arrive, l.cfg.Pxshm.PollCost)
+			l.host.NoteOverhead(dst, s, e)
+			l.host.Deliver(dst, msg, e)
+		})
+		return
+	}
+	mode := shm.SingleCopy
+	if l.cfg.Intra == IntraPxshmDouble {
+		mode = shm.DoubleCopy
+	}
+	ctx.Charge(l.cfg.Pxshm.SendCost(msg.Size, mode))
+	arrive := ctx.Now() + l.cfg.Pxshm.Latency()
+	dst := msg.DstPE
+	l.host.Eng().At(arrive, func() {
+		work := l.cfg.Pxshm.RecvCost(msg.Size, mode)
+		if mode == shm.DoubleCopy {
+			// The copy-out lands in a runtime buffer that is freed after
+			// handler execution; in single-copy mode the shared-memory
+			// region itself is handed to the application (no buffer).
+			bufCap, allocCost := l.allocMsgBuf(dst, msg.Size)
+			work += allocCost
+			msg.Release = func() sim.Time { return l.freeMsgBuf(dst, bufCap) }
+		}
+		e := l.progress(dst, arrive, work)
+		l.host.Deliver(dst, msg, e)
+	})
+}
+
+// rdmaUnit picks FMA or BTE by size (Section III-C).
+func (l *Layer) rdmaUnit(size int) func(*ugni.PostDesc, sim.Time) sim.Time {
+	if size >= l.cfg.BTEThreshold {
+		return l.gni.PostRdma
+	}
+	return l.gni.PostFma
+}
+
+// onSmsg is the progress engine's SMSG event hook for pe.
+func (l *Layer) onSmsg(pe int, ev ugni.Event) {
+	poll := l.gni.PollCost()
+	switch ev.Tag {
+	case tagDirect:
+		// Allocate a runtime buffer, copy out of the mailbox, deliver.
+		msg := ev.Payload.(*lrts.Message)
+		bufCap, allocCost := l.allocMsgBuf(pe, ev.Size)
+		work := poll + allocCost + l.mem().Memcpy(ev.Size)
+		e := l.progress(pe, ev.At, work)
+		msg.Release = func() sim.Time { return l.freeMsgBuf(pe, bufCap) }
+		l.host.Deliver(pe, msg, e)
+
+	case tagInit:
+		init := ev.Payload.(*rdmaInit)
+		capacity, allocCost := l.allocBuf(pe, init.size)
+		if l.cfg.PutRendezvous {
+			// PUT-based ablation: return a CTS carrying the landing buffer.
+			e := l.progress(pe, ev.At, poll+allocCost+l.gni.Net.P.HostSendCPU)
+			cts := &ctsMsg{id: init.id, bufCap: capacity}
+			if _, err := l.gni.SmsgSendWTag(pe, ev.Src, tagCTS, l.cfg.CtrlMsgSize, cts, e, nil); err != nil {
+				panic(fmt.Sprintf("ugnimachine: cts send: %v", err))
+			}
+			return
+		}
+		// Figure 5 receiver: allocate + register landing buffer, post GET.
+		desc := &ugni.PostDesc{
+			Kind:      ugni.PostGet,
+			Initiator: pe,
+			Remote:    ev.Src,
+			Size:      init.size,
+			Payload:   init.msg,
+			UserData:  &rdmaRecvState{init: init, bufCap: capacity},
+			LocalCQ:   l.rdmaCQ[pe],
+		}
+		post := l.rdmaUnit(init.size)
+		// CPU: poll + alloc + post, then the GET goes on the wire.
+		e := l.progress(pe, ev.At, poll+allocCost+l.gni.Net.P.HostPostCPU)
+		post(desc, e)
+
+	case tagCTS:
+		// PUT-based ablation, sender side: the receiver is ready; PUT the
+		// data straight into its buffer.
+		cts := ev.Payload.(*ctsMsg)
+		p, ok := l.pending[cts.id]
+		if !ok {
+			panic(fmt.Sprintf("ugnimachine: CTS for unknown id %d", cts.id))
+		}
+		desc := &ugni.PostDesc{
+			Kind:      ugni.PostPut,
+			Initiator: pe,
+			Remote:    p.msg.DstPE,
+			Size:      p.msg.Size,
+			Payload:   p.msg,
+			UserData:  &putDataState{id: cts.id, msg: p.msg, bufCap: cts.bufCap},
+			LocalCQ:   l.rdmaCQ[pe],
+			RemoteCQ:  l.rdmaCQ[p.msg.DstPE],
+		}
+		post := l.rdmaUnit(p.msg.Size)
+		e := l.progress(pe, ev.At, poll+l.gni.Net.P.HostPostCPU)
+		post(desc, e)
+
+	case tagAck:
+		// Figure 5 sender: release the send buffer.
+		ack := ev.Payload.(*rdmaAck)
+		p, ok := l.pending[ack.id]
+		if !ok {
+			panic(fmt.Sprintf("ugnimachine: ACK for unknown id %d", ack.id))
+		}
+		delete(l.pending, ack.id)
+		l.progress(pe, ev.At, poll+l.freeBuf(pe, p.bufCap))
+
+	case tagPersist:
+		l.onPersistNotify(pe, ev)
+
+	default:
+		panic(fmt.Sprintf("ugnimachine: unknown SMSG tag %d", ev.Tag))
+	}
+}
+
+// rdmaRecvState tags a GET descriptor with its rendezvous context.
+type rdmaRecvState struct {
+	init   *rdmaInit
+	bufCap int
+}
+
+// onRdma handles RDMA completion events on pe. Local completions drive the
+// rendezvous (GET done at receiver) and persistent (PUT issued at sender)
+// protocols; remote completions record persistent data arrival.
+func (l *Layer) onRdma(pe int, ev ugni.Event) {
+	switch ev.Type {
+	case ugni.EvRdmaLocal:
+		switch st := ev.Desc.UserData.(type) {
+		case *rdmaRecvState:
+			// GET completed: data landed in our buffer. Send ACK, deliver.
+			poll := l.gni.PollCost()
+			e := l.progress(pe, ev.At, poll+l.gni.Net.P.HostSendCPU)
+			_, err := l.gni.SmsgSendWTag(pe, ev.Desc.Remote, tagAck, l.cfg.CtrlMsgSize, &rdmaAck{id: st.init.id}, e, nil)
+			if err != nil {
+				panic(fmt.Sprintf("ugnimachine: ack send: %v", err))
+			}
+			st.init.msg.Release = func() sim.Time { return l.freeBuf(pe, st.bufCap) }
+			l.host.Deliver(pe, st.init.msg, e)
+
+		case *putDataState:
+			// PUT-based ablation, sender side: data left our buffer.
+			p, ok := l.pending[st.id]
+			if !ok {
+				panic(fmt.Sprintf("ugnimachine: PUT completion for unknown id %d", st.id))
+			}
+			delete(l.pending, st.id)
+			l.progress(pe, ev.At, l.gni.PollCost()+l.freeBuf(pe, p.bufCap))
+
+		default:
+			panic(fmt.Sprintf("ugnimachine: local RDMA completion with unknown state %T", st))
+		}
+
+	case ugni.EvRdmaRemote:
+		if st, ok := ev.Desc.UserData.(*putDataState); ok {
+			// PUT-based ablation, receiver side: data landed; deliver.
+			bufCap := st.bufCap
+			st.msg.Release = func() sim.Time { return l.freeBuf(pe, bufCap) }
+			e := l.progress(pe, ev.At, l.gni.PollCost())
+			l.host.Deliver(pe, st.msg, e)
+			return
+		}
+		// Receiver side of a persistent PUT: record when the data landed.
+		st, ok := ev.Desc.UserData.(*persistSendState)
+		if !ok {
+			panic(fmt.Sprintf("ugnimachine: remote RDMA completion with unknown state %T", ev.Desc.UserData))
+		}
+		ch := l.channels[st.handle]
+		ch.dataAt[st.seq] = ev.At
+		if msg, ok := ch.early[st.seq]; ok {
+			delete(ch.early, st.seq)
+			l.deliverPersist(ch, st.seq, msg, ev.At)
+		}
+
+	default:
+		panic(fmt.Sprintf("ugnimachine: unexpected CQ event %v", ev.Type))
+	}
+}

@@ -1,0 +1,156 @@
+// Package md is the mini-NAMD proxy used for the paper's molecular
+// dynamics experiments (Section V-D, Tables II and Figure 13): a
+// message-driven MD timestep with NAMD's decomposition structure —
+//
+//   - spatial decomposition into patches (one per cutoff-sized cell,
+//     periodic boundaries),
+//   - pairwise compute objects between neighbouring patches (migratable,
+//     balanced by the greedy measurement-based load balancer),
+//   - PME long-range electrostatics every step, modelled as pencil
+//     decomposition: charge spreading at patches, two FFT phases at
+//     pencils with an all-to-all transpose between them, and force
+//     interpolation back at patches,
+//   - a per-step energy reduction that triggers the next step.
+//
+// Force arithmetic is replaced by calibrated virtual-time costs (the
+// paper's claims are about runtime overhead, not physics; DESIGN.md §5);
+// message sizes, counts and dependencies match NAMD's 1K-16K-byte profile.
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"charmgo/internal/sim"
+)
+
+// Benchmark molecular systems the paper uses.
+var (
+	// IAPP is the 5,570-atom system (Figure 13, 960 cores).
+	IAPP = System{Name: "IAPP", Atoms: 5570}
+	// DHFR is the 23,558-atom system (Figure 13, 3,840 cores).
+	DHFR = System{Name: "DHFR", Atoms: 23558}
+	// ApoA1 is the 92,224-atom benchmark (Table II and Figure 13).
+	ApoA1 = System{Name: "ApoA1", Atoms: 92224}
+)
+
+// System names a molecular system by size.
+type System struct {
+	Name  string
+	Atoms int
+}
+
+// Config describes one mini-NAMD run.
+type Config struct {
+	System System
+	// Steps is the number of measured timesteps.
+	Steps int
+	// Warmup steps run before measurement (and before load balancing).
+	Warmup int
+	// LB enables the greedy compute load balancer after warmup.
+	LB bool
+	// PatchGrid overrides the derived patch decomposition when non-zero.
+	PatchGrid [3]int
+	// Pencils overrides the derived PME pencil count when non-zero.
+	Pencils int
+	// Seed drives the deterministic atom-count jitter across patches.
+	Seed uint64
+	// NoPMEPriority disables the NAMD-style high priority on PME traffic
+	// (charges, transposes, long-range forces); kept for the ablation.
+	NoPMEPriority bool
+
+	// Cost model (zero values take the calibrated defaults).
+	PerPairCost      sim.Time // one short-range pair interaction
+	PMEPerAtom       sim.Time // full PME work per atom per step
+	IntegratePerAtom sim.Time // integration per atom per step
+
+	// Wire-size model.
+	BytesPerAtomPos    int // position/force payload per atom
+	BytesPerAtomCharge int // PME charge/force payload per atom
+	GridBytesPerAtom   int // total PME grid bytes per atom (transpose volume)
+}
+
+func (c Config) withDefaults() Config {
+	if c.System.Atoms <= 0 {
+		panic("md: config needs a System")
+	}
+	if c.Steps <= 0 {
+		c.Steps = 5
+	}
+	if c.PerPairCost == 0 {
+		c.PerPairCost = 30 * sim.Nanosecond
+	}
+	if c.PMEPerAtom == 0 {
+		c.PMEPerAtom = 8 * sim.Microsecond
+	}
+	if c.IntegratePerAtom == 0 {
+		c.IntegratePerAtom = 500 * sim.Nanosecond
+	}
+	if c.BytesPerAtomPos == 0 {
+		c.BytesPerAtomPos = 24
+	}
+	if c.BytesPerAtomCharge == 0 {
+		c.BytesPerAtomCharge = 8
+	}
+	if c.GridBytesPerAtom == 0 {
+		c.GridBytesPerAtom = 110
+	}
+	return c
+}
+
+// derivePatchGrid targets ~250 atoms per cutoff-sized cell, but never fewer
+// than half a patch per PE (NAMD splits patches finer at scale so every
+// core has work), in a near-cubic grid.
+func derivePatchGrid(atoms, numPEs int) [3]int {
+	target := atoms / 250
+	if half := numPEs / 2; target < half {
+		target = half
+	}
+	if target < 8 {
+		target = 8
+	}
+	side := int(math.Cbrt(float64(target)) + 0.5)
+	if side < 2 {
+		side = 2
+	}
+	g := [3]int{side, side, side}
+	// Shrink the last dimension if clearly oversized.
+	for g[0]*g[1]*(g[2]-1) >= target && g[2] > 2 {
+		g[2]--
+	}
+	return g
+}
+
+// derivePencils picks the PME pencil count: a g x g pencil grid (the
+// transpose exchanges data within rows/columns, so the count must be a
+// perfect square), with enough pencils for parallelism but capped so the
+// per-phase FFT grain stays realistic.
+func derivePencils(patches, pes int) int {
+	target := patches / 3
+	if target > pes {
+		target = pes
+	}
+	g := int(math.Sqrt(float64(target)))
+	if g < 2 {
+		g = 2
+	}
+	if g > 32 {
+		g = 32
+	}
+	return g * g
+}
+
+// Result summarizes a run.
+type Result struct {
+	MsPerStep  float64    // mean measured step time, milliseconds
+	StepTimes  []sim.Time // individual measured steps
+	Patches    int
+	Computes   int
+	Pencils    int
+	Migrations int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d patches, %d computes, %d pencils: %.3f ms/step",
+		r.Patches, r.Computes, r.Pencils, r.MsPerStep)
+}

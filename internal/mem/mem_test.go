@@ -1,0 +1,175 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"charmgo/internal/sim"
+)
+
+func TestCostModelMonotone(t *testing.T) {
+	m := DefaultCostModel()
+	if m.Malloc(1024) >= m.Malloc(1<<20) {
+		t.Fatal("Malloc cost not increasing with size")
+	}
+	if m.Register(4096) >= m.Register(1<<20) {
+		t.Fatal("Register cost not increasing with size")
+	}
+	if m.Memcpy(64) >= m.Memcpy(1<<20) {
+		t.Fatal("Memcpy cost not increasing with size")
+	}
+}
+
+func TestCostModelPages(t *testing.T) {
+	m := DefaultCostModel()
+	cases := []struct{ size, want int }{
+		{0, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {-5, 0},
+	}
+	for _, c := range cases {
+		if got := m.Pages(c.size); got != c.want {
+			t.Errorf("Pages(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestRegisterDominatesForLargeBuffers(t *testing.T) {
+	// The paper's premise: registration is the expensive part of the
+	// unpooled large-message path.
+	m := DefaultCostModel()
+	if m.Register(1<<20) <= m.Malloc(1<<20) {
+		t.Fatalf("Register(1MB)=%v should exceed Malloc(1MB)=%v",
+			m.Register(1<<20), m.Malloc(1<<20))
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {1000, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.in); got != c.want {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPoolReuseIsCheap(t *testing.T) {
+	p := NewPool(PoolConfig{Model: DefaultCostModel()})
+	capa, cost1 := p.Alloc(4096)
+	if capa < 4096 {
+		t.Fatalf("Alloc returned capacity %d < requested", capa)
+	}
+	p.Free(capa)
+	_, cost2 := p.Alloc(4096)
+	if cost2 != p.allocCost {
+		t.Fatalf("reused alloc cost %v, want bare freelist cost %v", cost2, p.allocCost)
+	}
+	if cost1 != p.allocCost {
+		t.Fatalf("fresh in-slab alloc cost %v, want %v (slab pre-registered)", cost1, p.allocCost)
+	}
+}
+
+func TestPoolAllocMuchCheaperThanMallocRegister(t *testing.T) {
+	m := DefaultCostModel()
+	p := NewPool(PoolConfig{Model: m})
+	_, cost := p.Alloc(64 << 10)
+	direct := m.Malloc(64<<10) + m.Register(64<<10)
+	if cost*10 > direct {
+		t.Fatalf("pooled alloc %v not ≪ malloc+register %v", cost, direct)
+	}
+}
+
+func TestPoolExpansionCharges(t *testing.T) {
+	m := DefaultCostModel()
+	p := NewPool(PoolConfig{Model: m, SlabSize: 1 << 16})
+	var expanded bool
+	for i := 0; i < 20; i++ {
+		_, cost := p.Alloc(16 << 10)
+		if cost > 10*p.allocCost {
+			expanded = true
+		}
+	}
+	if !expanded {
+		t.Fatal("pool never charged an expansion despite slab exhaustion")
+	}
+	if p.Stats().Expansions < 2 {
+		t.Fatalf("Expansions = %d, want >= 2", p.Stats().Expansions)
+	}
+}
+
+func TestPoolOversizedAlloc(t *testing.T) {
+	p := NewPool(PoolConfig{Model: DefaultCostModel(), SlabSize: 1 << 16})
+	capa, cost := p.Alloc(1 << 20)
+	if capa < 1<<20 {
+		t.Fatalf("oversized alloc capacity %d", capa)
+	}
+	if cost <= p.allocCost {
+		t.Fatal("oversized alloc did not charge registration")
+	}
+	// And it is reusable afterwards.
+	p.Free(capa)
+	_, cost2 := p.Alloc(1 << 20)
+	if cost2 != p.allocCost {
+		t.Fatalf("reuse of oversized buffer cost %v, want %v", cost2, p.allocCost)
+	}
+}
+
+func TestPoolStatsBalance(t *testing.T) {
+	p := NewPool(PoolConfig{Model: DefaultCostModel()})
+	var caps []int
+	for i := 0; i < 50; i++ {
+		c, _ := p.Alloc(100 * (i + 1))
+		caps = append(caps, c)
+	}
+	for _, c := range caps {
+		p.Free(c)
+	}
+	st := p.Stats()
+	if st.Allocs != 50 || st.Frees != 50 {
+		t.Fatalf("allocs/frees = %d/%d, want 50/50", st.Allocs, st.Frees)
+	}
+	if st.LiveBytes != 0 {
+		t.Fatalf("LiveBytes = %d after balanced alloc/free, want 0", st.LiveBytes)
+	}
+}
+
+func TestPoolLiveBytesNeverNegative(t *testing.T) {
+	// Property: any interleaving of allocs and frees of what was allocated
+	// keeps LiveBytes >= 0 and capacity >= request.
+	f := func(sizes []uint16) bool {
+		p := NewPool(PoolConfig{Model: DefaultCostModel()})
+		var live []int
+		for i, s := range sizes {
+			if i%3 == 2 && len(live) > 0 {
+				p.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+				continue
+			}
+			c, _ := p.Alloc(int(s))
+			if c < int(s) {
+				return false
+			}
+			live = append(live, c)
+			if p.Stats().LiveBytes < 0 {
+				return false
+			}
+		}
+		return p.Stats().LiveBytes >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostModelCalibration(t *testing.T) {
+	// Sanity bounds used by the experiment calibration (DESIGN.md §4).
+	m := DefaultCostModel()
+	reg1m := m.Register(1 << 20)
+	if reg1m < 50*sim.Microsecond || reg1m > 120*sim.Microsecond {
+		t.Fatalf("Register(1MB) = %v, expected tens of microseconds", reg1m)
+	}
+	cp64k := m.Memcpy(64 << 10)
+	if cp64k < 10*sim.Microsecond || cp64k > 30*sim.Microsecond {
+		t.Fatalf("Memcpy(64KB) = %v, expected 10-30us at ~4GB/s", cp64k)
+	}
+}

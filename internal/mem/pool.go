@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"fmt"
+
+	"charmgo/internal/sim"
+)
+
+// Pool is the registered memory pool of paper Section IV.B: a per-PE
+// allocator over pre-registered memory. Because the whole pool is
+// registered once up front, a message allocated from it pays neither
+// malloc nor GNI_MemRegister on the critical path — only a small freelist
+// charge (Tmempool in the paper's cost equations).
+//
+// The pool uses power-of-two size buckets with freelists. When a bucket is
+// empty the pool carves from its current registered slab; when the slab is
+// exhausted it expands by registering another slab (the paper: "In the case
+// when the memory pool overflows, it can be dynamically expanded").
+type Pool struct {
+	model     CostModel
+	allocCost sim.Time // critical-path cost of a pooled alloc/free
+	slabSize  int
+	slabLeft  int
+	buckets   map[int][]int // size class -> freelist of buffer capacities (value unused beyond count)
+
+	// Statistics.
+	registeredBytes int64
+	liveBytes       int64
+	allocs          uint64
+	frees           uint64
+	expansions      uint64
+	setupCost       sim.Time // accumulated off-critical-path expansion cost
+}
+
+// PoolConfig configures a Pool.
+type PoolConfig struct {
+	Model     CostModel
+	AllocCost sim.Time // per-op freelist cost; defaults to 90ns
+	SlabSize  int      // bytes registered per expansion; defaults to 8 MiB
+}
+
+// NewPool creates a pool and registers its first slab. The registration
+// cost of the initial slab is recorded as setup cost (paid at startup, not
+// on any message's critical path).
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.AllocCost == 0 {
+		cfg.AllocCost = 90 * sim.Nanosecond
+	}
+	if cfg.SlabSize == 0 {
+		cfg.SlabSize = 8 << 20
+	}
+	p := &Pool{
+		model:     cfg.Model,
+		allocCost: cfg.AllocCost,
+		slabSize:  cfg.SlabSize,
+		buckets:   make(map[int][]int),
+	}
+	p.expand()
+	return p
+}
+
+// expand registers a new slab.
+func (p *Pool) expand() {
+	p.registeredBytes += int64(p.slabSize)
+	p.slabLeft = p.slabSize
+	p.expansions++
+	p.setupCost += p.model.Malloc(p.slabSize) + p.model.Register(p.slabSize)
+}
+
+// sizeClass rounds size up to the pool's bucket granularity (power of two,
+// minimum 64 bytes).
+func sizeClass(size int) int {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative alloc size %d", size))
+	}
+	c := 64
+	for c < size {
+		c <<= 1
+	}
+	return c
+}
+
+// Alloc takes a buffer of at least size bytes from the pool and returns the
+// buffer's registered capacity and the critical-path cost of the operation.
+// Expansion (if needed) charges the full malloc+register cost: that is the
+// "overflow" case and it is deliberately expensive.
+func (p *Pool) Alloc(size int) (capacity int, cost sim.Time) {
+	class := sizeClass(size)
+	p.allocs++
+	p.liveBytes += int64(class)
+	cost = p.allocCost
+	if fl := p.buckets[class]; len(fl) > 0 {
+		p.buckets[class] = fl[:len(fl)-1]
+		return class, cost
+	}
+	if class > p.slabSize {
+		// Oversized request: registered on demand, charged in full.
+		p.registeredBytes += int64(class)
+		p.expansions++
+		return class, cost + p.model.Malloc(class) + p.model.Register(class)
+	}
+	if p.slabLeft < class {
+		p.expand()
+		cost += p.model.Malloc(p.slabSize) + p.model.Register(p.slabSize)
+	}
+	p.slabLeft -= class
+	return class, cost
+}
+
+// Free returns a buffer of the given capacity (as reported by Alloc) to the
+// pool's freelist and returns the critical-path cost.
+func (p *Pool) Free(capacity int) sim.Time {
+	class := sizeClass(capacity)
+	p.frees++
+	p.liveBytes -= int64(class)
+	p.buckets[class] = append(p.buckets[class], class)
+	return p.allocCost
+}
+
+// Stats reports pool counters.
+type Stats struct {
+	RegisteredBytes int64
+	LiveBytes       int64
+	Allocs, Frees   uint64
+	Expansions      uint64
+	SetupCost       sim.Time
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		RegisteredBytes: p.registeredBytes,
+		LiveBytes:       p.liveBytes,
+		Allocs:          p.allocs,
+		Frees:           p.frees,
+		Expansions:      p.expansions,
+		SetupCost:       p.setupCost,
+	}
+}

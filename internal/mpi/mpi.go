@@ -1,0 +1,310 @@
+// Package mpi is the baseline the paper compares against: an MPI-like
+// message-passing library implemented on top of the simulated uGNI/Gemini
+// stack, with the structural properties of Cray MPI that the paper's
+// measurements expose:
+//
+//   - an eager protocol below a threshold (copies through internal
+//     registered buffers on both sides);
+//   - an RTS + GET rendezvous protocol above it, with a uDREG-style
+//     registration cache (so reusing a send/recv buffer skips
+//     registration — the Figure 9(a) same-buffer/different-buffer split);
+//   - blocking MPI_Recv semantics: once a rendezvous receive starts, the
+//     calling rank's CPU is occupied until the data has fully arrived
+//     (the overlap killer behind Figure 10);
+//   - a shared-memory intra-node path: double-copy for small messages and
+//     an XPMEM-style single-copy for large ones (Figure 8(c)'s MPI curve);
+//   - per-call software overhead for the MPI stack itself.
+package mpi
+
+import (
+	"fmt"
+
+	"charmgo/internal/gemini"
+	"charmgo/internal/shm"
+	"charmgo/internal/sim"
+	"charmgo/internal/ugni"
+)
+
+// Host provides the per-rank CPU resources and the engine.
+type Host interface {
+	Eng() *sim.Engine
+	CPU(rank int) *sim.Resource
+}
+
+// Config tunes the library.
+type Config struct {
+	// EagerThreshold: messages at or below travel eagerly; above use
+	// rendezvous. Cray MPI's default on Gemini was 8 KiB.
+	EagerThreshold int
+	// SoftwareOverhead is the per-MPI-call stack cost.
+	SoftwareOverhead sim.Time
+	// ProbeCost is one MPI_Iprobe invocation.
+	ProbeCost sim.Time
+	// CtrlMsgSize is the RTS wire size.
+	CtrlMsgSize int
+	// XpmemThreshold: intra-node messages above this use the single-copy
+	// XPMEM path; at or below, the double-copy shared-memory path.
+	XpmemThreshold int
+	// XpmemAttach is the per-message cost of the XPMEM mapping.
+	XpmemAttach sim.Time
+	// Shm is the intra-node cost model.
+	Shm shm.Model
+}
+
+// DefaultConfig returns the calibrated Cray-MPI-like constants.
+func DefaultConfig() Config {
+	return Config{
+		EagerThreshold:   8 << 10,
+		SoftwareOverhead: 420 * sim.Nanosecond,
+		ProbeCost:        190 * sim.Nanosecond,
+		CtrlMsgSize:      64,
+		XpmemThreshold:   16 << 10,
+		XpmemAttach:      800 * sim.Nanosecond,
+		Shm:              shm.DefaultModel(),
+	}
+}
+
+// BufID identifies an application buffer for the registration cache. The
+// same ID passed again models reusing the same buffer (uDREG hit); a fresh
+// ID models a new buffer (miss). Zero is never cached.
+type BufID int64
+
+// Envelope is an arrived-but-unreceived message: what Iprobe reports.
+type Envelope struct {
+	Src, Dst   int
+	Size       int
+	Payload    any
+	Rendezvous bool
+	ArrivedAt  sim.Time
+	sendBuf    BufID
+	intra      bool
+}
+
+// Comm is one communicator spanning all PEs of the network, rank == PE.
+type Comm struct {
+	gni  *ugni.GNI
+	host Host
+	cfg  Config
+
+	rxq       [][]*Envelope // per-rank unexpected-message queue
+	onArrival []func(env *Envelope)
+	dreg      []map[BufID]bool // per-rank registration cache
+	rdmaCQs   []*ugni.CQ       // per-rank eager-large landing CQ
+
+	stats map[string]int64
+}
+
+// SMSG tags used internally.
+const (
+	tagEager uint8 = iota
+	tagRTS
+)
+
+// New builds the communicator and attaches its uGNI receive queues. The
+// GNI instance must not be shared with another consumer of SMSG receive
+// queues.
+func New(g *ugni.GNI, host Host, cfg Config) *Comm {
+	n := g.Net.NumPEs()
+	c := &Comm{
+		gni:       g,
+		host:      host,
+		cfg:       cfg,
+		rxq:       make([][]*Envelope, n),
+		onArrival: make([]func(*Envelope), n),
+		dreg:      make([]map[BufID]bool, n),
+		stats:     make(map[string]int64),
+	}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		c.dreg[rank] = make(map[BufID]bool)
+		rx := g.CqCreate(fmt.Sprintf("mpi.rank%d.rx", rank))
+		rx.OnEvent = func(ev ugni.Event) { c.onSmsg(rank, ev) }
+		g.AttachSmsgCQ(rank, rx)
+
+		rc := g.CqCreate(fmt.Sprintf("mpi.rank%d.rdma", rank))
+		rc.OnEvent = func(ev ugni.Event) { c.onRdma(rank, ev) }
+		c.rdmaCQs = append(c.rdmaCQs, rc)
+	}
+	return c
+}
+
+// Stats reports library counters.
+func (c *Comm) Stats() map[string]int64 {
+	out := make(map[string]int64, len(c.stats))
+	for k, v := range c.stats {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Comm) bump(key string) { c.stats[key]++ }
+
+// OnArrival registers the event hook invoked when a message for rank
+// becomes probe-visible. It stands in for the polling loop around
+// MPI_Iprobe (per-probe cost is charged by the caller via ProbeCost).
+func (c *Comm) OnArrival(rank int, fn func(env *Envelope)) { c.onArrival[rank] = fn }
+
+// ProbeCost reports the configured MPI_Iprobe cost.
+func (c *Comm) ProbeCost() sim.Time { return c.cfg.ProbeCost }
+
+// Overhead reports the configured per-call software overhead.
+func (c *Comm) Overhead() sim.Time { return c.cfg.SoftwareOverhead }
+
+// registerCached charges registration for buf on rank unless cached.
+func (c *Comm) registerCached(rank int, buf BufID, size int) sim.Time {
+	if buf != 0 && c.dreg[rank][buf] {
+		c.bump("udreg_hits")
+		return 0
+	}
+	if buf != 0 {
+		c.dreg[rank][buf] = true
+	}
+	c.bump("udreg_misses")
+	_, cost := c.gni.MemRegister(rank, size)
+	return cost
+}
+
+// Isend sends size bytes from src to dst. It returns the sender-side CPU
+// cost; the caller charges it (Isend itself never blocks).
+func (c *Comm) Isend(src, dst, size int, payload any, buf BufID, at sim.Time) sim.Time {
+	if c.gni.Net.SameNode(src, dst) {
+		return c.isendIntra(src, dst, size, payload, at)
+	}
+	if size <= c.cfg.EagerThreshold {
+		return c.isendEager(src, dst, size, payload, at)
+	}
+	return c.isendRndv(src, dst, size, payload, buf, at)
+}
+
+// isendEager copies into an internal registered buffer and ships it.
+func (c *Comm) isendEager(src, dst, size int, payload any, at sim.Time) sim.Time {
+	c.bump("eager_sent")
+	cpu := c.cfg.SoftwareOverhead + c.gni.Net.P.Mem.Memcpy(size)
+	env := &Envelope{Src: src, Dst: dst, Size: size, Payload: payload}
+	sendAt := at + cpu
+	if size <= c.gni.MaxSmsgSize() {
+		wire, err := c.gni.SmsgSendWTag(src, dst, tagEager, size, env, sendAt, nil)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: eager smsg: %v", err))
+		}
+		return cpu + wire
+	}
+	// Eager-large: FMA PUT into the pre-registered eager landing zone.
+	desc := &ugni.PostDesc{
+		Kind:      ugni.PostPut,
+		Initiator: src,
+		Remote:    dst,
+		Size:      size,
+		Payload:   env,
+		RemoteCQ:  c.rdmaCQs[dst],
+	}
+	return cpu + c.gni.PostFma(desc, sendAt)
+}
+
+// isendRndv registers the send buffer (uDREG) and sends an RTS.
+func (c *Comm) isendRndv(src, dst, size int, payload any, buf BufID, at sim.Time) sim.Time {
+	c.bump("rndv_sent")
+	cpu := c.cfg.SoftwareOverhead + c.registerCached(src, buf, size)
+	env := &Envelope{Src: src, Dst: dst, Size: size, Payload: payload, Rendezvous: true, sendBuf: buf}
+	wire, err := c.gni.SmsgSendWTag(src, dst, tagRTS, c.cfg.CtrlMsgSize, env, at+cpu, nil)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: RTS smsg: %v", err))
+	}
+	return cpu + wire
+}
+
+// isendIntra ships the message over the node-local shared-memory path.
+func (c *Comm) isendIntra(src, dst, size int, payload any, at sim.Time) sim.Time {
+	c.bump("intra_sent")
+	cpu := c.cfg.SoftwareOverhead
+	env := &Envelope{Src: src, Dst: dst, Size: size, Payload: payload, intra: true}
+	if size <= c.cfg.XpmemThreshold {
+		// Double-copy path: sender copies into the shared region.
+		cpu += c.cfg.Shm.SendCost(size, shm.DoubleCopy)
+	}
+	// XPMEM path: no sender copy, the receiver will map and copy once.
+	arrive := at + cpu + c.cfg.Shm.Latency()
+	c.host.Eng().At(arrive, func() { c.arrive(dst, env, arrive) })
+	return cpu
+}
+
+// onSmsg demultiplexes uGNI SMSG events.
+func (c *Comm) onSmsg(rank int, ev ugni.Event) {
+	env := ev.Payload.(*Envelope)
+	c.arrive(rank, env, ev.At)
+}
+
+// onRdma handles eager-large PUT arrivals.
+func (c *Comm) onRdma(rank int, ev ugni.Event) {
+	if ev.Type != ugni.EvRdmaRemote {
+		panic(fmt.Sprintf("mpi: unexpected RDMA event %v", ev.Type))
+	}
+	env := ev.Payload.(*Envelope)
+	c.arrive(rank, env, ev.At)
+}
+
+// arrive queues the envelope and fires the arrival hook.
+func (c *Comm) arrive(rank int, env *Envelope, at sim.Time) {
+	env.ArrivedAt = at
+	c.rxq[rank] = append(c.rxq[rank], env)
+	if fn := c.onArrival[rank]; fn != nil {
+		fn(env)
+	}
+}
+
+// Iprobe reports (without dequeuing) the oldest probe-visible message for
+// rank, mirroring MPI_Iprobe. The caller charges ProbeCost.
+func (c *Comm) Iprobe(rank int) (*Envelope, bool) {
+	if len(c.rxq[rank]) == 0 {
+		return nil, false
+	}
+	return c.rxq[rank][0], true
+}
+
+// Recv completes the receive of env into the caller's buffer, blocking the
+// rank's CPU from `at` until the message is fully received (booked on the
+// rank's CPU resource). It returns the completion time. For rendezvous
+// messages the block spans the whole BTE GET — the behaviour that prevents
+// the MPI-based progress engine from overlapping anything else.
+func (c *Comm) Recv(env *Envelope, buf BufID, at sim.Time) sim.Time {
+	c.dequeue(env)
+	var done sim.Time
+	switch {
+	case env.intra:
+		cost := c.cfg.SoftwareOverhead
+		if env.Size <= c.cfg.XpmemThreshold {
+			cost += c.cfg.Shm.RecvCost(env.Size, shm.DoubleCopy)
+		} else {
+			cost += c.cfg.XpmemAttach + c.gni.Net.P.Mem.Memcpy(env.Size)
+		}
+		_, done = c.host.CPU(env.Dst).Acquire(at, cost)
+
+	case !env.Rendezvous:
+		// Eager: copy out of the internal buffer.
+		cost := c.cfg.SoftwareOverhead + c.gni.Net.P.Mem.Memcpy(env.Size)
+		_, done = c.host.CPU(env.Dst).Acquire(at, cost)
+
+	default:
+		// Rendezvous: register recv buffer (uDREG), post the GET, block.
+		pre := c.cfg.SoftwareOverhead + c.registerCached(env.Dst, buf, env.Size) + c.gni.Net.P.HostPostCPU
+		net := c.gni.Net
+		_, dataArrive := net.Get(net.NodeOf(env.Dst), net.NodeOf(env.Src), env.Size, gemini.UnitBTE, at+pre)
+		end := dataArrive + c.cfg.SoftwareOverhead
+		c.host.CPU(env.Dst).Acquire(at, end-at)
+		done = end
+	}
+	c.bump("recvs")
+	return done
+}
+
+func (c *Comm) dequeue(env *Envelope) {
+	q := c.rxq[env.Dst]
+	for i, e := range q {
+		if e == env {
+			copy(q[i:], q[i+1:])
+			c.rxq[env.Dst] = q[:len(q)-1]
+			return
+		}
+	}
+	panic("mpi: Recv of an envelope not in the unexpected queue")
+}

@@ -1,0 +1,52 @@
+package shm
+
+import (
+	"testing"
+
+	"charmgo/internal/sim"
+)
+
+func TestSingleCopyCheaperOnReceive(t *testing.T) {
+	m := DefaultModel()
+	for _, size := range []int{1 << 10, 64 << 10, 512 << 10} {
+		d := m.RecvCost(size, DoubleCopy)
+		s := m.RecvCost(size, SingleCopy)
+		if s >= d {
+			t.Fatalf("size %d: single-copy recv %v not cheaper than double-copy %v", size, s, d)
+		}
+	}
+}
+
+func TestSendCostSameAcrossModes(t *testing.T) {
+	m := DefaultModel()
+	if m.SendCost(4096, DoubleCopy) != m.SendCost(4096, SingleCopy) {
+		t.Fatal("sender cost should not depend on mode (sender always copies in)")
+	}
+}
+
+func TestCopyCostGrowsWithSize(t *testing.T) {
+	m := DefaultModel()
+	if m.SendCost(1<<20, SingleCopy) <= m.SendCost(1<<10, SingleCopy) {
+		t.Fatal("send cost not increasing with size")
+	}
+	if m.RecvCost(1<<20, DoubleCopy) <= m.RecvCost(1<<10, DoubleCopy) {
+		t.Fatal("double-copy recv cost not increasing with size")
+	}
+}
+
+func TestEndToEndBeatsNICLoopbackForSmall(t *testing.T) {
+	// The rationale for pxshm: a small intra-node message through shared
+	// memory should be far cheaper than several microseconds of NIC
+	// loopback.
+	m := DefaultModel()
+	total := m.SendCost(1024, DoubleCopy) + m.Latency() + m.RecvCost(1024, DoubleCopy)
+	if total > 2*sim.Microsecond {
+		t.Fatalf("1KB pxshm end-to-end = %v, want < 2us", total)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if DoubleCopy.String() != "double-copy" || SingleCopy.String() != "single-copy" {
+		t.Fatal("Mode strings wrong")
+	}
+}

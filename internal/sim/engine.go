@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created through Engine.Schedule and Engine.At.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Time reports the virtual time at which the event fires (or fired).
+func (ev *Event) Time() Time { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired, or cancelling twice, is a no-op.
+func (ev *Event) Cancel() { ev.cancel = true }
+
+// Engine is a deterministic discrete-event loop. It is not safe for
+// concurrent use: the whole simulated machine lives on one goroutine, which
+// is what makes runs bit-reproducible.
+type Engine struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	fired  uint64
+	inStep bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay units of virtual time. A negative delay is
+// treated as zero. Events scheduled for the same instant fire in the order
+// they were scheduled.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is an error:
+// the simulation's causality would break silently, so it panics loudly.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// Step fires the single next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain and returns the number fired.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	for e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline (if the clock has not already passed it). It returns the
+// number of events fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.cancel {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

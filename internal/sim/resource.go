@@ -1,0 +1,164 @@
+package sim
+
+import "sort"
+
+// Resource models a serially reusable piece of hardware. Two booking
+// disciplines exist:
+//
+//   - busy-until (NewResource): requests queue strictly FIFO behind the
+//     last booking. This is right for PE CPUs, whose bookings are issued
+//     in execution order by the scheduler and progress engine.
+//
+//   - gap-filling (NewGapResource): bookings are kept as a sorted set of
+//     disjoint busy intervals and a new request fills the earliest gap at
+//     or after its ready time. This is right for shared network hardware
+//     (NIC engines, torus links), where posts arrive in event order, not
+//     ready order: a transfer whose sender's PE-local clock ran far ahead
+//     must not block an independent, earlier-ready transfer posted a
+//     moment later.
+type Resource struct {
+	name      string
+	gapFill   bool
+	busyUntil Time   // busy-until mode state
+	iv        []ival // gap-filling mode state: sorted, disjoint intervals
+	busyTotal Time
+	acquires  uint64
+
+	// Clock, when set on a gap-filling resource, lets it prune intervals
+	// ending before Clock() (no future Acquire may ask for time before the
+	// engine's now).
+	Clock func() Time
+}
+
+type ival struct{ s, e Time }
+
+// maxIntervals bounds memory when no Clock is available: beyond it the
+// oldest interval is dropped (it is almost always in the dead past).
+const maxIntervals = 4096
+
+// NewResource returns an idle FIFO (busy-until) resource.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// NewGapResource returns an idle gap-filling resource.
+func NewGapResource(name string) *Resource {
+	return &Resource{name: name, gapFill: true}
+}
+
+// Name reports the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire books the resource for dur units starting no earlier than at and
+// returns the booked interval [start, end).
+func (r *Resource) Acquire(at, dur Time) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	r.acquires++
+	r.busyTotal += dur
+	if !r.gapFill {
+		start = at
+		if r.busyUntil > start {
+			start = r.busyUntil
+		}
+		end = start + dur
+		r.busyUntil = end
+		return start, end
+	}
+
+	r.prune()
+	pos := at
+	i := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].e > at })
+	for ; i < len(r.iv); i++ {
+		if r.iv[i].s-pos >= dur {
+			break // the gap before interval i fits
+		}
+		if r.iv[i].e > pos {
+			pos = r.iv[i].e
+		}
+	}
+	start, end = pos, pos+dur
+	if dur > 0 {
+		r.insert(start, end)
+	}
+	return start, end
+}
+
+// insert adds [s, e) at its sorted position, merging touching neighbours.
+func (r *Resource) insert(s, e Time) {
+	i := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].s >= s })
+	if i > 0 && r.iv[i-1].e == s {
+		r.iv[i-1].e = e
+		if i < len(r.iv) && r.iv[i].s == e {
+			r.iv[i-1].e = r.iv[i].e
+			r.iv = append(r.iv[:i], r.iv[i+1:]...)
+		}
+		return
+	}
+	if i < len(r.iv) && r.iv[i].s == e {
+		r.iv[i].s = s
+		return
+	}
+	r.iv = append(r.iv, ival{})
+	copy(r.iv[i+1:], r.iv[i:])
+	r.iv[i] = ival{s, e}
+}
+
+// prune drops intervals wholly in the dead past.
+func (r *Resource) prune() {
+	if r.Clock != nil {
+		now := r.Clock()
+		n := 0
+		for n < len(r.iv) && r.iv[n].e <= now {
+			n++
+		}
+		if n > 0 {
+			r.iv = r.iv[n:]
+		}
+		return
+	}
+	if len(r.iv) > maxIntervals {
+		r.iv = r.iv[len(r.iv)-maxIntervals:]
+	}
+}
+
+// FreeAt reports the time after which the resource is idle forever given
+// current bookings (busy-until: the queue tail; gap-filling: the end of
+// the last interval).
+func (r *Resource) FreeAt() Time {
+	if !r.gapFill {
+		return r.busyUntil
+	}
+	if len(r.iv) == 0 {
+		return 0
+	}
+	return r.iv[len(r.iv)-1].e
+}
+
+// BusyTotal reports the cumulative booked time.
+func (r *Resource) BusyTotal() Time { return r.busyTotal }
+
+// Acquires reports how many bookings have been made.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// Utilization reports busyTotal / window, clamped to [0, 1]; it is a
+// convenience for link-load reporting.
+func (r *Resource) Utilization(window Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	u := float64(r.busyTotal) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset returns the resource to idle and clears statistics.
+func (r *Resource) Reset() {
+	r.busyUntil = 0
+	r.iv = r.iv[:0]
+	r.busyTotal = 0
+	r.acquires = 0
+}

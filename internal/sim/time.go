@@ -1,0 +1,62 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the simulated Gemini interconnect and the message-driven runtime built on
+// top of it. All time in the simulator is virtual: a single deterministic
+// event loop advances a nanosecond-resolution clock, and model components
+// charge time against it rather than sleeping.
+package sim
+
+import "fmt"
+
+// Time is a point in (or a span of) virtual time, in nanoseconds.
+//
+// Virtual time is what every experiment in this repository reports: the
+// latencies, bandwidths and step times printed by the benchmark harness are
+// differences of sim.Time values, directly comparable to the wall-clock
+// microseconds in the paper's plots.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats t with an adaptive unit, e.g. "1.25us" or "3.4ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// DurationOf converts a byte count and a bandwidth in bytes per nanosecond
+// into the virtual time it takes to move that many bytes.
+func DurationOf(bytes int, bytesPerNS float64) Time {
+	if bytes <= 0 || bytesPerNS <= 0 {
+		return 0
+	}
+	return Time(float64(bytes) / bytesPerNS)
+}
+
+// GBps converts a bandwidth expressed in gigabytes per second into the
+// bytes-per-nanosecond unit the cost models use (1 GB/s == 1 byte/ns).
+func GBps(g float64) float64 { return g }

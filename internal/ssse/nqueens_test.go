@@ -1,0 +1,167 @@
+package ssse_test
+
+import (
+	"testing"
+
+	"charmgo"
+	"charmgo/internal/ssse"
+)
+
+func newMachine(nodes, cores int, layer charmgo.LayerKind) *charmgo.Machine {
+	return charmgo.NewMachine(charmgo.MachineConfig{Nodes: nodes, CoresPerNode: cores, Layer: layer})
+}
+
+func TestSequentialSolverMatchesKnownCounts(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		sol, nodes := ssse.Count(n)
+		if sol != ssse.Solutions[n] {
+			t.Fatalf("%d-queens: solver found %d solutions, want %d", n, sol, ssse.Solutions[n])
+		}
+		if nodes < sol {
+			t.Fatalf("%d-queens: %d nodes < %d solutions", n, nodes, sol)
+		}
+	}
+}
+
+func TestParallelSolveExactBothLayers(t *testing.T) {
+	for _, layer := range []charmgo.LayerKind{charmgo.LayerUGNI, charmgo.LayerMPI} {
+		for _, tc := range []struct{ n, threshold int }{
+			{8, 3}, {10, 4}, {11, 2},
+		} {
+			m := newMachine(2, 4, layer)
+			res := ssse.Run(m, ssse.Config{N: tc.n, Threshold: tc.threshold, Seed: 1})
+			if res.Solutions != ssse.Solutions[tc.n] {
+				t.Fatalf("layer %s, %d-queens/t%d: %d solutions, want %d",
+					layer, tc.n, tc.threshold, res.Solutions, ssse.Solutions[tc.n])
+			}
+			if res.Elapsed <= 0 {
+				t.Fatalf("no elapsed time recorded")
+			}
+			if res.Tasks == 0 {
+				t.Fatal("no parallel tasks executed")
+			}
+		}
+	}
+}
+
+func TestTaskCountMatchesPartials(t *testing.T) {
+	// Tasks at the leaf level = partial placements at the threshold;
+	// total tasks = sum over levels 0..threshold of partials.
+	m := newMachine(1, 4, charmgo.LayerUGNI)
+	res := ssse.Run(m, ssse.Config{N: 9, Threshold: 3, Seed: 2})
+	var want uint64
+	for d := 0; d <= 3; d++ {
+		want += ssse.CountPartials(9, d)
+	}
+	if res.Tasks != want {
+		t.Fatalf("tasks = %d, want %d", res.Tasks, want)
+	}
+}
+
+func TestCountPartials(t *testing.T) {
+	if got := ssse.CountPartials(8, 0); got != 1 {
+		t.Fatalf("partials depth 0 = %d", got)
+	}
+	if got := ssse.CountPartials(8, 1); got != 8 {
+		t.Fatalf("partials depth 1 = %d", got)
+	}
+	if got := ssse.CountPartials(8, 8); got != ssse.Solutions[8] {
+		t.Fatalf("partials at full depth = %d, want %d solutions", got, ssse.Solutions[8])
+	}
+}
+
+func TestSyntheticModePreservesTotalScale(t *testing.T) {
+	// Synthetic totals should land within a factor of ~2 of the configured
+	// ratio x solutions (the skew is mean-preserving).
+	m := newMachine(2, 4, charmgo.LayerUGNI)
+	res := ssse.Run(m, ssse.Config{N: 12, Threshold: 4, Synthetic: true, Seed: 3})
+	want := 80 * float64(ssse.Solutions[12])
+	got := float64(res.Nodes)
+	if got < want/2 || got > want*2 {
+		t.Fatalf("synthetic nodes = %.0f, want within 2x of %.0f", got, want)
+	}
+	if res.Solutions != 0 {
+		t.Fatal("synthetic mode reported exact solutions")
+	}
+}
+
+func TestSyntheticRatioCalibration(t *testing.T) {
+	// The default SyntheticRatio (80 nodes/solution, extrapolated to large
+	// boards) must be consistent with the real solver's measured trend
+	// (~60 at N=12, ~63 at N=13, rising with N).
+	for _, n := range []int{12, 13} {
+		sol, nodes := ssse.Count(n)
+		ratio := float64(nodes) / float64(sol)
+		if ratio < 45 || ratio > 90 {
+			t.Fatalf("%d-queens nodes/solution = %.2f, outside the calibrated 45-90 band", n, ratio)
+		}
+	}
+}
+
+func TestMoreCoresFaster(t *testing.T) {
+	small := newMachine(1, 4, charmgo.LayerUGNI)
+	rSmall := ssse.Run(small, ssse.Config{N: 11, Threshold: 4, Seed: 4})
+	big := newMachine(4, 8, charmgo.LayerUGNI)
+	rBig := ssse.Run(big, ssse.Config{N: 11, Threshold: 4, Seed: 4})
+	if rBig.Elapsed >= rSmall.Elapsed {
+		t.Fatalf("32 cores (%v) not faster than 4 cores (%v)", rBig.Elapsed, rSmall.Elapsed)
+	}
+}
+
+func TestUGNIFasterThanMPIOnNQueens(t *testing.T) {
+	// The Section V-C headline: fine-grain task parallelism favours the
+	// uGNI layer because per-message overhead is lower.
+	cfg := ssse.Config{N: 11, Threshold: 5, Seed: 5}
+	u := ssse.Run(newMachine(4, 8, charmgo.LayerUGNI), cfg)
+	p := ssse.Run(newMachine(4, 8, charmgo.LayerMPI), cfg)
+	if u.Elapsed >= p.Elapsed {
+		t.Fatalf("uGNI %v not faster than MPI %v on fine-grain N-Queens", u.Elapsed, p.Elapsed)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := ssse.Config{N: 10, Threshold: 4, Seed: 7}
+	a := ssse.Run(newMachine(2, 4, charmgo.LayerUGNI), cfg)
+	b := ssse.Run(newMachine(2, 4, charmgo.LayerUGNI), cfg)
+	if a.Elapsed != b.Elapsed || a.Tasks != b.Tasks || a.Solutions != b.Solutions {
+		t.Fatalf("identical runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestBadThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("threshold > N did not panic")
+		}
+	}()
+	ssse.Run(newMachine(1, 1, charmgo.LayerUGNI), ssse.Config{N: 5, Threshold: 9})
+}
+
+func TestChunkingReducesMessagesPreservesResult(t *testing.T) {
+	cfg1 := ssse.Config{N: 10, Threshold: 4, Seed: 9, ChunkSize: 1}
+	cfg8 := ssse.Config{N: 10, Threshold: 4, Seed: 9, ChunkSize: 8}
+	a := ssse.Run(newMachine(2, 4, charmgo.LayerUGNI), cfg1)
+	b := ssse.Run(newMachine(2, 4, charmgo.LayerUGNI), cfg8)
+	if b.Solutions != a.Solutions || a.Solutions != ssse.Solutions[10] {
+		t.Fatalf("chunked run wrong: %d vs %d solutions", b.Solutions, a.Solutions)
+	}
+	if b.Tasks >= a.Tasks {
+		t.Fatalf("chunking did not reduce task messages: %d vs %d", b.Tasks, a.Tasks)
+	}
+	if b.Nodes != a.Nodes {
+		t.Fatalf("node counts differ under chunking: %d vs %d", b.Nodes, a.Nodes)
+	}
+}
+
+func TestPaperScaleMessageCounts(t *testing.T) {
+	// With ChunkSize ~100 the 17-queens threshold-6 run should generate
+	// message counts of the paper's order (~15K); we verify the arithmetic
+	// on the partial counts without running the full simulation.
+	p6 := ssse.CountPartials(17, 6)
+	if p6 < 1_000_000 || p6 > 2_000_000 {
+		t.Fatalf("partials(17,6) = %d, expected ~1.45M", p6)
+	}
+	if msgs := p6 / 100; msgs < 10_000 || msgs > 20_000 {
+		t.Fatalf("chunked message estimate %d, want ~15K", msgs)
+	}
+}

@@ -1,0 +1,155 @@
+// Package stats holds the small numeric and tabular helpers the experiment
+// harness uses to print paper-style series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the smallest value (+Inf for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (-Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank on
+// a copy of xs; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(cp) {
+		rank = len(cp) - 1
+	}
+	return cp[rank]
+}
+
+// Table is an aligned text table with a title, printed by the harness in
+// place of the paper's plots.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat prints with sensible precision for latency/bandwidth values.
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Note)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SizeLabel formats a byte count the way the paper's x-axes do (32, 1K, 4M).
+func SizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dM", bytes>>20)
+	case bytes >= 1<<10 && bytes%(1<<10) == 0:
+		return fmt.Sprintf("%dK", bytes>>10)
+	default:
+		return fmt.Sprintf("%d", bytes)
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatalf("mean/min/max = %v/%v/%v", Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Fig X", "size", "a(us)", "b(us)")
+	tab.Add("32", 1.234, 5678.9)
+	tab.Add("1K", 10.5, 0.0)
+	out := tab.String()
+	if !strings.Contains(out, "Fig X") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "1.234") || !strings.Contains(out, "5679") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		32:      "32",
+		1024:    "1K",
+		4096:    "4K",
+		1 << 20: "1M",
+		4 << 20: "4M",
+		1500:    "1500",
+	}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package stencil_test
+
+import (
+	"math"
+	"testing"
+
+	"charmgo"
+	"charmgo/internal/stencil"
+)
+
+func machine(nodes, cores int, layer charmgo.LayerKind) *charmgo.Machine {
+	return charmgo.NewMachine(charmgo.MachineConfig{Nodes: nodes, CoresPerNode: cores, Layer: layer})
+}
+
+func TestAllIterationsCompleteBothLayers(t *testing.T) {
+	for _, layer := range []charmgo.LayerKind{charmgo.LayerUGNI, charmgo.LayerMPI} {
+		m := machine(2, 4, layer)
+		iters := 6
+		res := stencil.Run(m, stencil.Config{BlocksX: 4, BlocksY: 4, Iterations: iters})
+		// Residual halves once per completed iteration on every block; the
+		// reduction reports the max, so full completion gives exactly 2^-iters.
+		want := math.Pow(0.5, float64(iters))
+		if res.Residual != want {
+			t.Fatalf("layer %s: residual %v, want %v (some block missed an iteration)",
+				layer, res.Residual, want)
+		}
+		if res.PerIteration <= 0 {
+			t.Fatalf("layer %s: no iteration time", layer)
+		}
+		if res.Blocks != 16 {
+			t.Fatalf("blocks = %d", res.Blocks)
+		}
+	}
+}
+
+func TestPersistentHalosCorrectAndFaster(t *testing.T) {
+	// The Section IV-A promise: a fixed repeating pattern benefits from
+	// persistent channels.
+	cfg := stencil.Config{BlocksX: 6, BlocksY: 4, BlockSize: 1024, Iterations: 8}
+	plain := stencil.Run(machine(2, 12, charmgo.LayerUGNI), cfg)
+	cfg.Persistent = true
+	persist := stencil.Run(machine(2, 12, charmgo.LayerUGNI), cfg)
+	if persist.Residual != plain.Residual {
+		t.Fatalf("persistent run diverged: residual %v vs %v", persist.Residual, plain.Residual)
+	}
+	if persist.PerIteration >= plain.PerIteration {
+		t.Fatalf("persistent halos %v not faster than regular %v",
+			persist.PerIteration, plain.PerIteration)
+	}
+}
+
+func TestComputeScalesWithBlockSize(t *testing.T) {
+	small := stencil.Run(machine(1, 4, charmgo.LayerUGNI),
+		stencil.Config{BlocksX: 2, BlocksY: 2, BlockSize: 128, Iterations: 4})
+	big := stencil.Run(machine(1, 4, charmgo.LayerUGNI),
+		stencil.Config{BlocksX: 2, BlocksY: 2, BlockSize: 1024, Iterations: 4})
+	if big.PerIteration <= small.PerIteration {
+		t.Fatalf("1024-cell blocks (%v) not slower than 128 (%v)", big.PerIteration, small.PerIteration)
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	cfg := stencil.Config{BlocksX: 8, BlocksY: 8, BlockSize: 2048, Iterations: 4}
+	few := stencil.Run(machine(1, 4, charmgo.LayerUGNI), cfg)
+	many := stencil.Run(machine(4, 8, charmgo.LayerUGNI), cfg)
+	if many.PerIteration >= few.PerIteration {
+		t.Fatalf("32 cores (%v) not faster than 4 (%v)", many.PerIteration, few.PerIteration)
+	}
+}
+
+func TestSinglePEGridWorks(t *testing.T) {
+	m := machine(1, 1, charmgo.LayerUGNI)
+	res := stencil.Run(m, stencil.Config{BlocksX: 2, BlocksY: 2, Iterations: 3})
+	if res.Residual != 0.125 {
+		t.Fatalf("residual %v on single PE", res.Residual)
+	}
+}
+
+func TestDegenerateOneColumnGrid(t *testing.T) {
+	// BlocksX=1 wraps both horizontal halos onto the block itself.
+	m := machine(1, 2, charmgo.LayerUGNI)
+	res := stencil.Run(m, stencil.Config{BlocksX: 1, BlocksY: 4, Iterations: 3})
+	if res.Residual != 0.125 {
+		t.Fatalf("residual %v on 1-column grid", res.Residual)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := stencil.Config{BlocksX: 4, BlocksY: 4, Iterations: 5}
+	a := stencil.Run(machine(2, 4, charmgo.LayerUGNI), cfg)
+	b := stencil.Run(machine(2, 4, charmgo.LayerUGNI), cfg)
+	if a.PerIteration != b.PerIteration || a.Total != b.Total {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero grid did not panic")
+		}
+	}()
+	stencil.Run(machine(1, 1, charmgo.LayerUGNI), stencil.Config{})
+}

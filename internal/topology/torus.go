@@ -1,0 +1,168 @@
+// Package topology models the 3D torus that connects Gemini routers in the
+// Cray XE/XK series. It provides near-cubic shaping for a given node count,
+// coordinate mapping, hop counting with wraparound, and dimension-ordered
+// path enumeration used by the network model's per-link contention booking.
+package topology
+
+import "fmt"
+
+// NumDims is the dimensionality of the torus (Gemini is a 3D torus).
+const NumDims = 3
+
+// Torus describes a 3-dimensional torus of X*Y*Z nodes.
+type Torus struct {
+	X, Y, Z int
+}
+
+// Shape returns a torus whose dimensions are as close to cubic as possible
+// while holding at least n nodes (dims are the smallest such box with
+// X >= Y >= Z). It panics if n <= 0.
+func Shape(n int) Torus {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: Shape(%d)", n))
+	}
+	best := Torus{n, 1, 1}
+	bestWaste := best.Nodes() - n
+	bestSkew := best.X - best.Z
+	for z := 1; z*z*z <= n; z++ {
+		for y := z; y*y <= (n+z-1)/z*z; y++ {
+			// Smallest x with x*y*z >= n and x >= y.
+			x := (n + y*z - 1) / (y * z)
+			if x < y {
+				x = y
+			}
+			t := Torus{x, y, z}
+			waste := t.Nodes() - n
+			skew := t.X - t.Z
+			if waste < bestWaste || (waste == bestWaste && skew < bestSkew) {
+				best, bestWaste, bestSkew = t, waste, skew
+			}
+		}
+	}
+	return best
+}
+
+// Nodes reports the number of nodes the torus holds.
+func (t Torus) Nodes() int { return t.X * t.Y * t.Z }
+
+// Dims returns the per-dimension sizes.
+func (t Torus) Dims() [NumDims]int { return [NumDims]int{t.X, t.Y, t.Z} }
+
+// Coords maps a node ID in [0, Nodes()) to (x, y, z) coordinates.
+func (t Torus) Coords(node int) (x, y, z int) {
+	t.check(node)
+	x = node % t.X
+	y = (node / t.X) % t.Y
+	z = node / (t.X * t.Y)
+	return
+}
+
+// Node maps coordinates to a node ID. Coordinates wrap around.
+func (t Torus) Node(x, y, z int) int {
+	x = wrap(x, t.X)
+	y = wrap(y, t.Y)
+	z = wrap(z, t.Z)
+	return x + t.X*(y+t.Y*z)
+}
+
+// Hops reports the minimal hop distance between two nodes on the torus.
+func (t Torus) Hops(a, b int) int {
+	ax, ay, az := t.Coords(a)
+	bx, by, bz := t.Coords(b)
+	return torusDist(ax, bx, t.X) + torusDist(ay, by, t.Y) + torusDist(az, bz, t.Z)
+}
+
+// Link identifies one directional link of the torus: the link leaving node
+// From along dimension Dim (0=x, 1=y, 2=z) in direction Dir (+1 or -1).
+type Link struct {
+	From int
+	Dim  int
+	Dir  int
+}
+
+// NumLinks reports the number of directional links: 2 per dimension per
+// node (torus wraparound makes the link count uniform).
+func (t Torus) NumLinks() int { return t.Nodes() * NumDims * 2 }
+
+// LinkIndex maps a Link to a dense index in [0, NumLinks()).
+func (t Torus) LinkIndex(l Link) int {
+	t.check(l.From)
+	if l.Dim < 0 || l.Dim >= NumDims {
+		panic(fmt.Sprintf("topology: bad link dim %d", l.Dim))
+	}
+	d := 0
+	if l.Dir > 0 {
+		d = 1
+	}
+	return (l.From*NumDims+l.Dim)*2 + d
+}
+
+// Path returns the dimension-ordered (x, then y, then z) shortest path from
+// a to b as the sequence of directional links traversed. Ties in wrap
+// direction prefer the positive direction. Path(a, a) is empty.
+func (t Torus) Path(a, b int) []Link {
+	t.check(a)
+	t.check(b)
+	if a == b {
+		return nil
+	}
+	dims := t.Dims()
+	var ac, bc [NumDims]int
+	ac[0], ac[1], ac[2] = t.Coords(a)
+	bc[0], bc[1], bc[2] = t.Coords(b)
+	path := make([]Link, 0, t.Hops(a, b))
+	cur := ac
+	for dim := 0; dim < NumDims; dim++ {
+		size := dims[dim]
+		dist, dir := torusStep(cur[dim], bc[dim], size)
+		for i := 0; i < dist; i++ {
+			from := t.Node(cur[0], cur[1], cur[2])
+			path = append(path, Link{From: from, Dim: dim, Dir: dir})
+			cur[dim] = wrap(cur[dim]+dir, size)
+		}
+	}
+	return path
+}
+
+func (t Torus) check(node int) {
+	if node < 0 || node >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", node, t.Nodes()))
+	}
+}
+
+// String formats the torus as "XxYxZ".
+func (t Torus) String() string { return fmt.Sprintf("%dx%dx%d", t.X, t.Y, t.Z) }
+
+func wrap(v, size int) int {
+	v %= size
+	if v < 0 {
+		v += size
+	}
+	return v
+}
+
+// torusDist is the minimal distance from a to b on a ring of the given size.
+func torusDist(a, b, size int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if size-d < d {
+		d = size - d
+	}
+	return d
+}
+
+// torusStep returns the minimal distance and the step direction (+1/-1)
+// from a to b on a ring; ties prefer +1.
+func torusStep(a, b, size int) (dist, dir int) {
+	fwd := wrap(b-a, size)
+	bwd := size - fwd
+	if fwd == 0 {
+		return 0, 1
+	}
+	if fwd <= bwd {
+		return fwd, 1
+	}
+	return bwd, -1
+}

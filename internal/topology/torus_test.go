@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeCoversAndIsCompact(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16, 24, 100, 640, 6384} {
+		tor := Shape(n)
+		if tor.Nodes() < n {
+			t.Fatalf("Shape(%d) = %v holds only %d nodes", n, tor, tor.Nodes())
+		}
+		if tor.X < tor.Y || tor.Y < tor.Z {
+			t.Fatalf("Shape(%d) = %v not sorted X>=Y>=Z", n, tor)
+		}
+	}
+	if got := Shape(8); got != (Torus{2, 2, 2}) {
+		t.Fatalf("Shape(8) = %v, want 2x2x2", got)
+	}
+	if got := Shape(64); got != (Torus{4, 4, 4}) {
+		t.Fatalf("Shape(64) = %v, want 4x4x4", got)
+	}
+}
+
+func TestShapePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shape(0) did not panic")
+		}
+	}()
+	Shape(0)
+}
+
+func TestCoordsNodeRoundTrip(t *testing.T) {
+	tor := Torus{4, 3, 2}
+	for n := 0; n < tor.Nodes(); n++ {
+		x, y, z := tor.Coords(n)
+		if got := tor.Node(x, y, z); got != n {
+			t.Fatalf("round trip failed: node %d -> (%d,%d,%d) -> %d", n, x, y, z, got)
+		}
+	}
+}
+
+func TestNodeWraps(t *testing.T) {
+	tor := Torus{4, 3, 2}
+	if tor.Node(-1, 0, 0) != tor.Node(3, 0, 0) {
+		t.Fatal("negative x did not wrap")
+	}
+	if tor.Node(4, 3, 2) != tor.Node(0, 0, 0) {
+		t.Fatal("overflow coords did not wrap")
+	}
+}
+
+func TestHopsSymmetricAndWraps(t *testing.T) {
+	tor := Torus{4, 4, 4}
+	a := tor.Node(0, 0, 0)
+	b := tor.Node(3, 0, 0)
+	if got := tor.Hops(a, b); got != 1 {
+		t.Fatalf("wraparound hop = %d, want 1", got)
+	}
+	c := tor.Node(2, 2, 2)
+	if tor.Hops(a, c) != 6 {
+		t.Fatalf("Hops(corner, center) = %d, want 6", tor.Hops(a, c))
+	}
+	for n := 0; n < tor.Nodes(); n += 7 {
+		for m := 0; m < tor.Nodes(); m += 5 {
+			if tor.Hops(n, m) != tor.Hops(m, n) {
+				t.Fatalf("Hops not symmetric for %d,%d", n, m)
+			}
+		}
+	}
+}
+
+func TestPathLengthMatchesHops(t *testing.T) {
+	tor := Torus{4, 3, 2}
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			p := tor.Path(a, b)
+			if len(p) != tor.Hops(a, b) {
+				t.Fatalf("len(Path(%d,%d)) = %d, want Hops = %d", a, b, len(p), tor.Hops(a, b))
+			}
+		}
+	}
+}
+
+func TestPathIsConnected(t *testing.T) {
+	tor := Torus{5, 4, 3}
+	for a := 0; a < tor.Nodes(); a += 3 {
+		for b := 0; b < tor.Nodes(); b += 2 {
+			cur := a
+			for _, l := range tor.Path(a, b) {
+				if l.From != cur {
+					t.Fatalf("path link starts at %d, expected %d", l.From, cur)
+				}
+				x, y, z := tor.Coords(cur)
+				switch l.Dim {
+				case 0:
+					x += l.Dir
+				case 1:
+					y += l.Dir
+				case 2:
+					z += l.Dir
+				}
+				cur = tor.Node(x, y, z)
+			}
+			if cur != b {
+				t.Fatalf("path from %d ends at %d, want %d", a, cur, b)
+			}
+		}
+	}
+}
+
+func TestPathSelfIsEmpty(t *testing.T) {
+	tor := Torus{3, 3, 3}
+	if p := tor.Path(13, 13); len(p) != 0 {
+		t.Fatalf("Path(n, n) = %v, want empty", p)
+	}
+}
+
+func TestLinkIndexDenseAndUnique(t *testing.T) {
+	tor := Torus{3, 2, 2}
+	seen := make(map[int]bool)
+	for n := 0; n < tor.Nodes(); n++ {
+		for dim := 0; dim < NumDims; dim++ {
+			for _, dir := range []int{-1, 1} {
+				idx := tor.LinkIndex(Link{From: n, Dim: dim, Dir: dir})
+				if idx < 0 || idx >= tor.NumLinks() {
+					t.Fatalf("LinkIndex out of range: %d", idx)
+				}
+				if seen[idx] {
+					t.Fatalf("LinkIndex collision at %d", idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != tor.NumLinks() {
+		t.Fatalf("indexed %d links, want %d", len(seen), tor.NumLinks())
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	tor := Torus{4, 3, 3}
+	f := func(a, b, c uint16) bool {
+		n := tor.Nodes()
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Torus{4, 3, 2}).String(); s != "4x3x2" {
+		t.Fatalf("String = %q", s)
+	}
+}

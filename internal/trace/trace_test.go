@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"charmgo/internal/sim"
+)
+
+func TestTotalsAccumulate(t *testing.T) {
+	r := NewRecorder(2, 10*sim.Microsecond)
+	r.Add(0, KindApp, 0, 5*sim.Microsecond)
+	r.Add(1, KindOverhead, 0, 3*sim.Microsecond)
+	app, ovh := r.Totals()
+	if app != 5*sim.Microsecond || ovh != 3*sim.Microsecond {
+		t.Fatalf("totals = %v, %v", app, ovh)
+	}
+}
+
+func TestIntervalSplitsAcrossBins(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Microsecond)
+	// 5us..25us spans three bins: 5 in bin0, 10 in bin1, 5 in bin2.
+	r.Add(0, KindApp, 5*sim.Microsecond, 25*sim.Microsecond)
+	p := r.Profile()
+	if len(p) != 3 {
+		t.Fatalf("%d bins, want 3", len(p))
+	}
+	if p[0].App != 0.5 || p[1].App != 1.0 || p[2].App != 0.5 {
+		t.Fatalf("bin app fractions = %v %v %v", p[0].App, p[1].App, p[2].App)
+	}
+}
+
+func TestIdleDerived(t *testing.T) {
+	r := NewRecorder(2, 10*sim.Microsecond)
+	// One of two PEs busy for the full bin => 50% idle.
+	r.Add(0, KindApp, 0, 10*sim.Microsecond)
+	p := r.Profile()
+	if p[0].Idle != 0.5 {
+		t.Fatalf("idle = %v, want 0.5", p[0].Idle)
+	}
+}
+
+func TestEmptyAndInvertedIntervalsIgnored(t *testing.T) {
+	r := NewRecorder(1, sim.Microsecond)
+	r.Add(0, KindApp, 10, 10)
+	r.Add(0, KindApp, 20, 5)
+	if app, _ := r.Totals(); app != 0 {
+		t.Fatalf("degenerate intervals recorded: %v", app)
+	}
+}
+
+func TestRenderContainsBars(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Microsecond)
+	r.Add(0, KindApp, 0, 5*sim.Microsecond)
+	r.Add(0, KindOverhead, 5*sim.Microsecond, 8*sim.Microsecond)
+	out := r.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "x") || !strings.Contains(out, ".") {
+		t.Fatalf("render missing bar glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0% useful") {
+		t.Fatalf("render missing percentages:\n%s", out)
+	}
+}
+
+func TestRenderHandlesOverfullBins(t *testing.T) {
+	// Defensive: utilization slightly above 1 must not panic.
+	r := NewRecorder(1, 10*sim.Microsecond)
+	r.Add(0, KindApp, 0, 11*sim.Microsecond) // spills into bin 1
+	r.Add(0, KindOverhead, 0, 10*sim.Microsecond)
+	_ = r.Render(30)
+}
+
+func TestBadBinWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(_, 0) did not panic")
+		}
+	}()
+	NewRecorder(1, 0)
+}

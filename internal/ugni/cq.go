@@ -1,0 +1,112 @@
+// Package ugni exposes the user-level Generic Network Interface the paper's
+// machine layer is written against: completion queues, memory registration,
+// SMSG mailbox messaging, and FMA/RDMA post operations — all backed by the
+// simulated Gemini NIC (internal/gemini).
+//
+// Function shapes mirror the uGNI API the paper lists in Section II-B
+// (GNI_CqCreate, GNI_MemRegister, GNI_SmsgSendWTag, GNI_PostFma,
+// GNI_PostRdma), adapted to the simulator's virtual-time conventions: calls
+// take the caller's PE-local time and return the host CPU cost the caller
+// must charge.
+package ugni
+
+import "charmgo/internal/sim"
+
+// EventType discriminates completion-queue events.
+type EventType int
+
+const (
+	// EvSmsg: a short message landed in this PE's mailbox.
+	EvSmsg EventType = iota
+	// EvTxDone: a locally issued SMSG send left the NIC.
+	EvTxDone
+	// EvRdmaLocal: a posted FMA/RDMA transaction completed locally
+	// (PUT: source buffer free; GET: data arrived).
+	EvRdmaLocal
+	// EvRdmaRemote: a transaction completed on the remote side.
+	EvRdmaRemote
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EvSmsg:
+		return "SMSG"
+	case EvTxDone:
+		return "TX_DONE"
+	case EvRdmaLocal:
+		return "RDMA_LOCAL"
+	case EvRdmaRemote:
+		return "RDMA_REMOTE"
+	}
+	return "event?"
+}
+
+// Event is one completion-queue entry. As the paper notes, a Gemini CQ
+// event does not carry the transaction's memory address; protocols must
+// carry identifying context themselves (the Desc pointer here plays the
+// role of the post descriptor the real NIC hands back).
+type Event struct {
+	Type    EventType
+	At      sim.Time // when the event became visible to the host
+	Src     int      // sending PE
+	Dst     int      // receiving PE
+	Tag     uint8
+	Size    int
+	Payload any
+	Desc    *PostDesc // non-nil for RDMA events
+	AmoOld  int64     // EvAmoDone: the register's pre-operation value
+}
+
+// CQ is a completion queue. The simulator delivers events by scheduling
+// OnEvent at the event's visibility time; GetEvent drains the queue in
+// order, mirroring GNI_CqGetEvent.
+type CQ struct {
+	name string
+	eng  *sim.Engine
+	q    []Event
+
+	// OnEvent, if set, consumes every event: it fires (as an engine event,
+	// at the event's visibility time) and the event is NOT queued for
+	// GetEvent. This replaces the spin-polling loop a real progress engine
+	// runs; per-event poll cost is charged by the handler (DESIGN.md §5).
+	// A CQ therefore operates in exactly one of two modes: hooked
+	// (OnEvent set) or polled (GetEvent drains the queue).
+	OnEvent func(ev Event)
+
+	delivered uint64
+}
+
+// Name reports the queue's diagnostic name.
+func (cq *CQ) Name() string { return cq.name }
+
+// Len reports the number of queued, undrained events.
+func (cq *CQ) Len() int { return len(cq.q) }
+
+// Delivered reports how many events were ever pushed.
+func (cq *CQ) Delivered() uint64 { return cq.delivered }
+
+// GetEvent pops the oldest event, mirroring GNI_CqGetEvent; ok is false
+// when the queue is empty.
+func (cq *CQ) GetEvent() (ev Event, ok bool) {
+	if len(cq.q) == 0 {
+		return Event{}, false
+	}
+	ev = cq.q[0]
+	copy(cq.q, cq.q[1:])
+	cq.q = cq.q[:len(cq.q)-1]
+	return ev, true
+}
+
+// push schedules the event to appear at time at.
+func (cq *CQ) push(at sim.Time, ev Event) {
+	ev.At = at
+	cq.eng.At(at, func() {
+		cq.delivered++
+		if cq.OnEvent != nil {
+			cq.OnEvent(ev)
+			return
+		}
+		cq.q = append(cq.q, ev)
+	})
+}

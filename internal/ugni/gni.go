@@ -1,0 +1,203 @@
+package ugni
+
+import (
+	"errors"
+	"fmt"
+
+	"charmgo/internal/gemini"
+	"charmgo/internal/sim"
+)
+
+// GNI is one job's handle on the simulated Gemini NICs: it owns the SMSG
+// connection state, routes events into per-PE completion queues, and tracks
+// registration statistics.
+type GNI struct {
+	Net *gemini.Network
+
+	smsgMax  int
+	rxCQ     []*CQ // per-PE SMSG receive CQ (attached by the machine layer)
+	mailbox  map[uint64]bool
+	mbxBytes int64
+	amoRegs  map[amoKey]int64
+
+	msgqConns map[uint64]bool
+	msgqBytes int64
+
+	registeredBytes int64
+	registrations   uint64
+}
+
+// New creates a GNI instance for the whole job. The SMSG maximum message
+// size is derived from the job's PE count (paper Section III-C).
+func New(net *gemini.Network) *GNI {
+	return &GNI{
+		Net:     net,
+		smsgMax: gemini.SMSGMaxSize(net.NumPEs()),
+		rxCQ:    make([]*CQ, net.NumPEs()),
+		mailbox: make(map[uint64]bool),
+		amoRegs: make(map[amoKey]int64),
+	}
+}
+
+// MaxSmsgSize reports the largest message SMSG will carry for this job.
+func (g *GNI) MaxSmsgSize() int { return g.smsgMax }
+
+// CqCreate mirrors GNI_CqCreate: it returns an empty completion queue.
+func (g *GNI) CqCreate(name string) *CQ {
+	return &CQ{name: name, eng: g.Net.Eng}
+}
+
+// AttachSmsgCQ designates cq as the receive CQ for incoming SMSG messages
+// addressed to pe.
+func (g *GNI) AttachSmsgCQ(pe int, cq *CQ) {
+	g.rxCQ[pe] = cq
+}
+
+// MemHandle is an opaque registration handle, mirroring gni_mem_handle_t.
+type MemHandle struct {
+	Node int
+	Size int
+}
+
+// MemRegister mirrors GNI_MemRegister: it registers size bytes on the PE's
+// node and returns the handle plus the host CPU cost the caller must charge.
+func (g *GNI) MemRegister(pe, size int) (MemHandle, sim.Time) {
+	g.registeredBytes += int64(size)
+	g.registrations++
+	return MemHandle{Node: g.Net.NodeOf(pe), Size: size}, g.Net.P.Mem.Register(size)
+}
+
+// MemDeregister mirrors GNI_MemDeregister and returns the CPU cost.
+func (g *GNI) MemDeregister(h MemHandle) sim.Time {
+	g.registeredBytes -= int64(h.Size)
+	return g.Net.P.Mem.Deregister()
+}
+
+// RegisteredBytes reports currently registered bytes across the job.
+func (g *GNI) RegisteredBytes() int64 { return g.registeredBytes }
+
+// Registrations reports the cumulative GNI_MemRegister call count.
+func (g *GNI) Registrations() uint64 { return g.registrations }
+
+// MailboxBytes reports memory consumed by SMSG mailboxes. It grows with the
+// number of distinct connected PE pairs — the scalability cost the paper
+// attributes to SMSG.
+func (g *GNI) MailboxBytes() int64 { return g.mbxBytes }
+
+func (g *GNI) connect(a, b int) {
+	key := uint64(a)<<32 | uint64(uint32(b))
+	if a > b {
+		key = uint64(b)<<32 | uint64(uint32(a))
+	}
+	if !g.mailbox[key] {
+		g.mailbox[key] = true
+		// Both endpoints allocate and register a mailbox.
+		g.mbxBytes += 2 * int64(g.Net.P.SMSGMailboxBytes)
+	}
+}
+
+// ErrSmsgTooBig is returned when a message exceeds the SMSG size cap.
+var ErrSmsgTooBig = errors.New("ugni: message exceeds SMSG maximum size")
+
+// SmsgSendWTag mirrors GNI_SmsgSendWTag: it sends a short tagged message
+// from src to dst, ready at the caller's PE-local time `at`. The message is
+// delivered into dst's attached SMSG receive CQ. It returns the host CPU
+// cost the caller must charge. If txCQ is non-nil a TX_DONE event is
+// delivered there when the send leaves the NIC.
+func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at sim.Time, txCQ *CQ) (sim.Time, error) {
+	if size > g.smsgMax {
+		return 0, fmt.Errorf("%w: %d > %d", ErrSmsgTooBig, size, g.smsgMax)
+	}
+	g.connect(src, dst)
+	rx := g.rxCQ[dst]
+	if rx == nil {
+		return 0, fmt.Errorf("ugni: PE %d has no attached SMSG receive CQ", dst)
+	}
+	srcDone, arrive := g.Net.Transfer(g.Net.NodeOf(src), g.Net.NodeOf(dst), size, gemini.UnitSMSG, at)
+	rx.push(arrive+g.Net.P.CQLatency, Event{
+		Type: EvSmsg, Src: src, Dst: dst, Tag: tag, Size: size, Payload: payload,
+	})
+	if txCQ != nil {
+		txCQ.push(srcDone+g.Net.P.CQLatency, Event{
+			Type: EvTxDone, Src: src, Dst: dst, Tag: tag, Size: size,
+		})
+	}
+	return g.Net.P.HostSendCPU, nil
+}
+
+// PostKind discriminates PUT and GET transactions.
+type PostKind int
+
+const (
+	// PostPut moves data from the initiator to the remote PE.
+	PostPut PostKind = iota
+	// PostGet pulls data from the remote PE to the initiator.
+	PostGet
+)
+
+// String names the post kind.
+func (k PostKind) String() string {
+	if k == PostPut {
+		return "PUT"
+	}
+	return "GET"
+}
+
+// PostDesc is the transaction descriptor handed to PostFma/PostRdma,
+// mirroring gni_post_descriptor_t. LocalCQ receives EvRdmaLocal when the
+// transaction completes on the initiator side; RemoteCQ (optional) receives
+// EvRdmaRemote when it completes on the remote side.
+type PostDesc struct {
+	Kind      PostKind
+	Initiator int // PE posting the descriptor
+	Remote    int // the other PE
+	Size      int
+	Payload   any
+	Tag       uint8
+	UserData  any
+	LocalCQ   *CQ
+	RemoteCQ  *CQ
+}
+
+// PostFma mirrors GNI_PostFma: execute the transaction on the FMA unit.
+// It returns the host CPU cost of posting.
+func (g *GNI) PostFma(d *PostDesc, at sim.Time) sim.Time {
+	return g.post(d, gemini.UnitFMA, at)
+}
+
+// PostRdma mirrors GNI_PostRdma: queue the transaction on the BTE.
+func (g *GNI) PostRdma(d *PostDesc, at sim.Time) sim.Time {
+	return g.post(d, gemini.UnitBTE, at)
+}
+
+func (g *GNI) post(d *PostDesc, unit gemini.Unit, at sim.Time) sim.Time {
+	iNode := g.Net.NodeOf(d.Initiator)
+	rNode := g.Net.NodeOf(d.Remote)
+	var localDone, remoteDone sim.Time
+	switch d.Kind {
+	case PostPut:
+		srcDone, arrive := g.Net.Transfer(iNode, rNode, d.Size, unit, at)
+		localDone, remoteDone = srcDone, arrive
+	case PostGet:
+		_, arrive := g.Net.Get(iNode, rNode, d.Size, unit, at)
+		localDone, remoteDone = arrive, arrive
+	default:
+		panic("ugni: unknown post kind")
+	}
+	ev := Event{Src: d.Initiator, Dst: d.Remote, Tag: d.Tag, Size: d.Size, Payload: d.Payload, Desc: d}
+	if d.LocalCQ != nil {
+		lev := ev
+		lev.Type = EvRdmaLocal
+		d.LocalCQ.push(localDone+g.Net.P.CQLatency, lev)
+	}
+	if d.RemoteCQ != nil {
+		rev := ev
+		rev.Type = EvRdmaRemote
+		d.RemoteCQ.push(remoteDone+g.Net.P.CQLatency, rev)
+	}
+	return g.Net.P.HostPostCPU
+}
+
+// PollCost reports the CPU cost of one successful CQ poll; progress engines
+// charge it per handled event.
+func (g *GNI) PollCost() sim.Time { return g.Net.P.HostCQPollCPU }
