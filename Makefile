@@ -1,0 +1,27 @@
+# charmgo build/test entry points. Tier-1 is `make check`.
+
+GO ?= go
+
+.PHONY: build test test-race vet check bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the simulation kernel and NIC model (the packages the
+# pluggable-kernel refactor touches most).
+test-race:
+	$(GO) test -race ./internal/sim/... ./internal/gemini/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test test-race
+
+# Quick microbenchmark pass over the kernel hot paths plus the end-to-end
+# fig9a wall-clock benchmark.
+bench-smoke:
+	$(GO) test -run - -bench 'BenchmarkEngineScheduleFire|BenchmarkGapResourceAcquire' -benchtime 100000x ./internal/sim/
+	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 5x .

@@ -54,6 +54,22 @@ func BenchmarkFig8c(b *testing.B) { runExperiment(b, "fig8c") }
 // BenchmarkFig9a regenerates Figure 9(a) (latency, all five systems).
 func BenchmarkFig9a(b *testing.B) { runExperiment(b, "fig9a") }
 
+// BenchmarkFig9aWallClock measures the wall-clock cost of regenerating the
+// full-axis Figure 9(a) (8B-4MB, all five systems): the simulation kernel's
+// end-to-end speed benchmark. The virtual-time output is identical to
+// `cmd/benchharness -exp fig9a`; only wall time is under test here.
+func BenchmarkFig9aWallClock(b *testing.B) {
+	e, ok := bench.Find("fig9a")
+	if !ok {
+		b.Fatal("fig9a experiment missing")
+	}
+	opts := bench.Options{Quick: false, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Run(opts)
+	}
+}
+
 // BenchmarkFig9b regenerates Figure 9(b) (bandwidth).
 func BenchmarkFig9b(b *testing.B) { runExperiment(b, "fig9b") }
 

@@ -53,7 +53,15 @@ type (
 	Time = sim.Time
 	// PersistentHandle names a persistent channel.
 	PersistentHandle = lrts.PersistentHandle
+	// Probe observes simulation-kernel activity (events fired, resource
+	// bookings); attach one via MachineConfig.Probe.
+	Probe = sim.Probe
+	// KernelStats is a ready-made Probe that aggregates kernel counters.
+	KernelStats = sim.KernelStats
 )
+
+// NewKernelStats returns an empty kernel-statistics probe.
+func NewKernelStats() *KernelStats { return sim.NewKernelStats() }
 
 // Virtual-time units, re-exported for convenience.
 const (
@@ -91,6 +99,11 @@ type MachineConfig struct {
 	Converse *converse.Options
 	// Tracer, when non-nil, records the Projections-style time profile.
 	Tracer *trace.Recorder
+	// Probe, when non-nil, observes the simulation kernel (every event
+	// fired and every resource booking across network, NIC engines, and
+	// CPUs). Probes are pure observers: attaching one never changes
+	// virtual-time results.
+	Probe Probe
 }
 
 // NewMachine builds a ready-to-run simulated machine.
@@ -106,6 +119,11 @@ func NewMachine(cfg MachineConfig) *Machine {
 		params.CoresPerNode = cfg.CoresPerNode
 	}
 	eng := sim.NewEngine()
+	if cfg.Probe != nil {
+		// Attach before building anything so every resource the network
+		// and machine layers create inherits the probe.
+		eng.SetProbe(cfg.Probe)
+	}
 	net := gemini.NewNetwork(eng, cfg.Nodes, params)
 	g := ugni.New(net)
 

@@ -1,9 +1,13 @@
 package charmgo_test
 
 import (
+	"strings"
 	"testing"
 
 	"charmgo"
+	"charmgo/internal/sim"
+	"charmgo/internal/stats"
+	"charmgo/internal/trace"
 )
 
 func TestNewMachineDefaults(t *testing.T) {
@@ -44,6 +48,56 @@ func TestNewMachinePanicsOnBadConfig(t *testing.T) {
 			}()
 			charmgo.NewMachine(cfg)
 		})
+	}
+}
+
+// TestProbeThreadsThroughMachine checks the kernel probe end to end: one
+// probe installed at configuration time observes events and bookings from
+// every layer (network links, NIC engines, CPUs), and attaching it does not
+// change virtual-time results.
+func TestProbeThreadsThroughMachine(t *testing.T) {
+	run := func(probe charmgo.Probe) charmgo.Time {
+		m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: 2, Probe: probe})
+		pong := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {})
+		ping := m.RegisterHandler(func(ctx *charmgo.Ctx, msg *charmgo.Message) {
+			ctx.Send(m.NumPEs()-1, pong, nil, 4096)
+		})
+		m.Inject(0, ping, nil, 0, 0)
+		return m.Run()
+	}
+
+	bare := run(nil)
+	ks := charmgo.NewKernelStats()
+	prof := trace.NewKernelProfile(charmgo.Microsecond)
+	probed := run(sim.Probes(ks, prof))
+
+	if probed != bare {
+		t.Fatalf("probe changed virtual time: %v with vs %v without", probed, bare)
+	}
+	if ks.Events == 0 || ks.Bookings == 0 || ks.BookedTime <= 0 {
+		t.Fatalf("probe saw no kernel activity: %+v", ks)
+	}
+	top := ks.TopResources(5)
+	if len(top) == 0 {
+		t.Fatal("no resources observed")
+	}
+	var sawCPU, sawNIC bool
+	for _, r := range ks.TopResources(1 << 20) {
+		if strings.Contains(r.Name, ".cpu") {
+			sawCPU = true
+		}
+		if strings.Contains(r.Name, ".fma") || strings.Contains(r.Name, ".bte") {
+			sawNIC = true
+		}
+	}
+	if !sawCPU || !sawNIC {
+		t.Fatalf("probe missed a layer: sawCPU=%v sawNIC=%v (top: %+v)", sawCPU, sawNIC, top)
+	}
+	if prof.Bins() == 0 || prof.PeakPending() == 0 {
+		t.Fatalf("kernel profile empty: bins=%d peak=%d", prof.Bins(), prof.PeakPending())
+	}
+	if out := stats.KernelTable(ks, 3).String(); !strings.Contains(out, "events=") {
+		t.Fatalf("kernel table missing counters:\n%s", out)
 	}
 }
 

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"charmgo/internal/stats"
+)
+
+// Golden-shape regression tests: run the real figure runners (scaled down
+// with Quick) and assert the invariants EXPERIMENTS.md documents. These
+// pin the experiment *output* — if a kernel change perturbs any virtual
+// time along these paths, the shapes or golden cells below break.
+
+// cell parses one table cell as a float.
+func cell(t *testing.T, tab *stats.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("table %q cell (%d,%d) = %q: %v", tab.Title, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// parseSize reverses stats.SizeLabel.
+func parseSize(t *testing.T, label string) int {
+	t.Helper()
+	mult := 1
+	switch {
+	case strings.HasSuffix(label, "M"):
+		mult, label = 1<<20, strings.TrimSuffix(label, "M")
+	case strings.HasSuffix(label, "K"):
+		mult, label = 1<<10, strings.TrimSuffix(label, "K")
+	}
+	n, err := strconv.Atoi(label)
+	if err != nil {
+		t.Fatalf("bad size label %q: %v", label, err)
+	}
+	return n * mult
+}
+
+func TestGoldenFig4Crossover(t *testing.T) {
+	tab := Fig4(Options{Quick: true, Seed: 1})[0]
+	// EXPERIMENTS.md: FMA wins small messages (0.53us Put at 8B vs 2.41us
+	// BTE Put); BTE wins above the ~4KB crossover.
+	if got := tab.Rows[0][1]; got != "0.530" {
+		t.Fatalf("8B FMA Put = %s us, golden 0.530", got)
+	}
+	if got := tab.Rows[0][3]; got != "2.406" {
+		t.Fatalf("8B BTE Put = %s us, golden 2.406", got)
+	}
+	for i, row := range tab.Rows {
+		size := parseSize(t, row[0])
+		fma, bte := cell(t, tab, i, 1), cell(t, tab, i, 3)
+		switch {
+		case size <= 4096 && fma >= bte:
+			t.Fatalf("%s: FMA Put %.3f should beat BTE Put %.3f below crossover", row[0], fma, bte)
+		case size > 4096 && bte >= fma:
+			t.Fatalf("%s: BTE Put %.3f should beat FMA Put %.3f above crossover", row[0], bte, fma)
+		}
+	}
+}
+
+func TestGoldenFig8bMempoolHalvesLargeLatency(t *testing.T) {
+	tab := Fig8b(Options{Quick: true, Seed: 1})[0]
+	// EXPERIMENTS.md: the registered memory pool roughly halves
+	// large-message latency (it removes per-message registration).
+	last := len(tab.Rows) - 1
+	if size := parseSize(t, tab.Rows[last][0]); size < 256<<10 {
+		t.Fatalf("largest fig8b size only %d", size)
+	}
+	noPool, withPool := cell(t, tab, last, 1), cell(t, tab, last, 2)
+	if noPool < 1.7*withPool {
+		t.Fatalf("512K: w/o mempool %.1f vs w/ %.1f — expected ~2x (got %.2fx)",
+			noPool, withPool, noPool/withPool)
+	}
+}
+
+func TestGoldenFig9aHeadline(t *testing.T) {
+	tab := Fig9a(Options{Quick: true, Seed: 1})[0]
+	// EXPERIMENTS.md: at 8B, charm/ugni 1.42us vs charm/mpi 2.44us.
+	if got := tab.Rows[0][1]; got != "1.421" {
+		t.Fatalf("8B charm/ugni = %s us, golden 1.421", got)
+	}
+	if got := tab.Rows[0][2]; got != "2.441" {
+		t.Fatalf("8B charm/mpi = %s us, golden 2.441", got)
+	}
+	for i, row := range tab.Rows {
+		if u, m := cell(t, tab, i, 1), cell(t, tab, i, 2); u >= m {
+			t.Fatalf("%s: charm/ugni %.3f not below charm/mpi %.3f", row[0], u, m)
+		}
+	}
+}

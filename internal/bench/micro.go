@@ -5,8 +5,6 @@
 package bench
 
 import (
-	"fmt"
-
 	"charmgo"
 	"charmgo/internal/gemini"
 	"charmgo/internal/machine/ugnimachine"
@@ -102,11 +100,11 @@ func FigureFourPoint(size int, unit gemini.Unit, get bool) sim.Time {
 // mpiHost adapts a bare CPU set to mpi.Host for pure-MPI benchmarks.
 type mpiHost struct {
 	eng  *sim.Engine
-	cpus []*sim.Resource
+	cpus []*sim.PEResource
 }
 
-func (h *mpiHost) Eng() *sim.Engine           { return h.eng }
-func (h *mpiHost) CPU(rank int) *sim.Resource { return h.cpus[rank] }
+func (h *mpiHost) Eng() *sim.Engine             { return h.eng }
+func (h *mpiHost) CPU(rank int) *sim.PEResource { return h.cpus[rank] }
 
 // PureMPIOneWay measures MPI ping-pong one-way latency. With sameBuf the
 // two ranks reuse one send/recv buffer each (uDREG hits after warmup);
@@ -120,7 +118,7 @@ func PureMPIOneWay(size int, sameBuf, intra bool) sim.Time {
 	eng, net, g := newStack(nodes)
 	h := &mpiHost{eng: eng}
 	for i := 0; i < net.NumPEs(); i++ {
-		h.cpus = append(h.cpus, sim.NewResource(fmt.Sprintf("cpu%d", i)))
+		h.cpus = append(h.cpus, sim.NewPEResource(sim.Indexed("cpu", i, "")))
 	}
 	c := mpi.New(g, h, mpi.DefaultConfig())
 	r0, r1 := 0, net.P.CoresPerNode

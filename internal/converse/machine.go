@@ -7,9 +7,6 @@
 package converse
 
 import (
-	"container/heap"
-	"fmt"
-
 	"charmgo/internal/gemini"
 	"charmgo/internal/lrts"
 	"charmgo/internal/sim"
@@ -61,13 +58,14 @@ type Machine struct {
 func NewMachine(eng *sim.Engine, net *gemini.Network, layer lrts.Layer, opts Options) *Machine {
 	m := &Machine{eng: eng, net: net, layer: layer, opts: opts}
 	n := net.NumPEs()
+	probe := eng.Probe()
 	m.procs = make([]*Proc, n)
 	for pe := 0; pe < n; pe++ {
-		m.procs[pe] = &Proc{
-			m:   m,
-			pe:  pe,
-			cpu: sim.NewResource(fmt.Sprintf("pe%d.cpu", pe)),
+		cpu := sim.NewPEResource(sim.Indexed("pe", pe, ".cpu"))
+		if probe != nil {
+			cpu.SetProbe(probe)
 		}
+		m.procs[pe] = &Proc{m: m, pe: pe, cpu: cpu}
 	}
 	m.registerBroadcastHandler()
 	layer.Start(m)
@@ -81,7 +79,7 @@ func (m *Machine) Eng() *sim.Engine { return m.eng }
 func (m *Machine) NumPEs() int { return len(m.procs) }
 
 // CPU implements lrts.Host.
-func (m *Machine) CPU(pe int) *sim.Resource { return m.procs[pe].cpu }
+func (m *Machine) CPU(pe int) *sim.PEResource { return m.procs[pe].cpu }
 
 // Net exposes the underlying network (for placement decisions and stats).
 func (m *Machine) Net() *gemini.Network { return m.net }
@@ -96,7 +94,7 @@ func (m *Machine) Deliver(pe int, msg *lrts.Message, at sim.Time) {
 		at = m.eng.Now()
 	}
 	m.eng.At(at, func() {
-		heap.Push(&p.q, queued{msg: msg, seq: p.seq})
+		p.q.push(queued{msg: msg, seq: p.seq})
 		p.seq++
 		p.kick(at)
 	})
@@ -167,7 +165,7 @@ func (m *Machine) TotalProcessed() uint64 { return m.processed }
 type Proc struct {
 	m   *Machine
 	pe  int
-	cpu *sim.Resource
+	cpu *sim.PEResource
 	q   msgHeap
 	seq uint64
 
@@ -184,24 +182,61 @@ type queued struct {
 	seq uint64
 }
 
-// msgHeap orders by (priority, arrival sequence).
+// msgHeap is a binary min-heap ordered by (priority, arrival sequence).
+// It is hand-rolled rather than container/heap because pushing through an
+// `any` interface boxes every queued value — one allocation per delivered
+// message on the hottest path in the runtime.
 type msgHeap []queued
 
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
-	if h[i].msg.Priority != h[j].msg.Priority {
-		return h[i].msg.Priority < h[j].msg.Priority
+func (a queued) before(b queued) bool {
+	if a.msg.Priority != b.msg.Priority {
+		return a.msg.Priority < b.msg.Priority
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(queued)) }
-func (h *msgHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+func (h *msgHeap) push(v queued) {
+	q := append(*h, v)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !v.before(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = v
+	*h = q
+}
+
+func (h *msgHeap) pop() queued {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = queued{}
+	q = q[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && q[c+1].before(q[c]) {
+			c++
+		}
+		if !q[c].before(last) {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	if n > 0 {
+		q[i] = last
+	}
+	*h = q
+	return top
 }
 
 // kick ensures a dispatch is scheduled no earlier than at (and no earlier
@@ -228,7 +263,7 @@ func (p *Proc) dispatch() {
 	if len(p.q) == 0 {
 		return
 	}
-	msg := heap.Pop(&p.q).(queued).msg
+	msg := p.q.pop().msg
 
 	ctx := &Ctx{proc: p, now: now}
 	ctx.Charge(p.m.opts.SchedCost)

@@ -11,12 +11,21 @@ import (
 // Network is the simulated machine: a torus of nodes, each with one Gemini
 // NIC. PEs (processing elements, i.e. cores) are numbered densely:
 // pe = node*CoresPerNode + core.
+//
+// All booking goes through the per-node unitEngine instances (see
+// engine.go), which implement sim.NICEngine; the Transfer/Get methods
+// here are thin delegations kept for callers that address engines by
+// (node, Unit).
 type Network struct {
 	Eng   *sim.Engine
 	Topo  topology.Torus
 	P     Params
 	nodes []*Node
-	links []*sim.Resource
+	links []*sim.GapResource
+
+	// pathBuf is scratch for dimension-ordered path enumeration, reused
+	// across bookings (the whole machine runs on one goroutine).
+	pathBuf []topology.Link
 
 	// Statistics.
 	transfers uint64
@@ -26,8 +35,10 @@ type Network struct {
 // Node is one compute node and its NIC.
 type Node struct {
 	ID  int
-	FMA *sim.Resource // shared FMA unit (also carries SMSG)
-	BTE *sim.Resource // shared block transfer engine
+	FMA *sim.GapResource // shared FMA unit (also carries SMSG/MSGQ)
+	BTE *sim.GapResource // shared block transfer engine
+
+	engines [4]*unitEngine // indexed by Unit
 }
 
 // NewNetwork builds a machine with the given node count. The torus shape is
@@ -45,21 +56,69 @@ func NewNetwork(eng *sim.Engine, nodes int, p Params) *Network {
 		Topo:  topo,
 		P:     p,
 		nodes: make([]*Node, nodes),
-		links: make([]*sim.Resource, topo.NumLinks()),
+		links: make([]*sim.GapResource, topo.NumLinks()),
 	}
 	clock := eng.Now
+	probe := eng.Probe()
 	for i := range n.nodes {
-		fma := sim.NewGapResource(fmt.Sprintf("node%d.fma", i))
-		bte := sim.NewGapResource(fmt.Sprintf("node%d.bte", i))
-		fma.Clock, bte.Clock = clock, clock
-		n.nodes[i] = &Node{ID: i, FMA: fma, BTE: bte}
+		fma := sim.NewGapResource(sim.Indexed("node", i, ".fma"), clock)
+		bte := sim.NewGapResource(sim.Indexed("node", i, ".bte"), clock)
+		nd := &Node{ID: i, FMA: fma, BTE: bte}
+		engs := make([]unitEngine, 4)
+		for u := UnitFMA; u <= UnitMSGQ; u++ {
+			overhead, bw := p.unitCosts(u)
+			res := fma
+			if u == UnitBTE {
+				res = bte
+			}
+			extra := sim.Time(0)
+			if u == UnitMSGQ {
+				extra = p.MSGQExtraOverhead
+			}
+			engs[u] = unitEngine{
+				net:      n,
+				name:     sim.Indexed("node", i, unitSuffix[u]),
+				node:     i,
+				res:      res,
+				overhead: overhead,
+				bw:       bw,
+				extra:    extra,
+			}
+			nd.engines[u] = &engs[u]
+		}
+		n.nodes[i] = nd
 	}
 	for i := range n.links {
-		n.links[i] = sim.NewGapResource(fmt.Sprintf("link%d", i))
-		n.links[i].Clock = clock
+		n.links[i] = sim.NewGapResource(sim.Indexed("link", i, ""), clock)
+	}
+	if probe != nil {
+		n.SetProbe(probe)
 	}
 	return n
 }
+
+// unitSuffix names each engine view for diagnostics.
+var unitSuffix = [4]string{UnitFMA: ".fma-eng", UnitBTE: ".bte-eng", UnitSMSG: ".smsg-eng", UnitMSGQ: ".msgq-eng"}
+
+// SetProbe installs p on every NIC engine resource and torus link, so one
+// probe observes all network bookings. It is called automatically at
+// construction when the sim engine already carries a probe.
+func (n *Network) SetProbe(p sim.Probe) {
+	for _, nd := range n.nodes {
+		nd.FMA.SetProbe(p)
+		nd.BTE.SetProbe(p)
+	}
+	for _, l := range n.links {
+		l.SetProbe(p)
+	}
+}
+
+// Engine returns the sim.NICEngine carrying traffic for the given node
+// and unit: the uniform interface machine layers book transfers through.
+func (n *Network) Engine(node int, u Unit) sim.NICEngine { return n.nodes[node].engines[u] }
+
+// engine is the concrete-typed accessor used inside the package.
+func (n *Network) engine(node int, u Unit) *unitEngine { return n.nodes[node].engines[u] }
 
 // NumNodes reports the node count actually usable (<= Topo.Nodes()).
 func (n *Network) NumNodes() int { return len(n.nodes) }
@@ -87,13 +146,6 @@ func (n *Network) SameNode(a, b int) bool { return n.NodeOf(a) == n.NodeOf(b) }
 // Stats reports transfer counters.
 func (n *Network) Stats() (transfers uint64, bytes int64) { return n.transfers, n.bytes }
 
-func (n *Network) unitRes(node int, u Unit) *sim.Resource {
-	if u == UnitBTE {
-		return n.nodes[node].BTE
-	}
-	return n.nodes[node].FMA
-}
-
 // pathLatency is the pure flight latency between two nodes (no
 // serialization): injection/ejection plus per-hop router latency.
 func (n *Network) pathLatency(a, b int) sim.Time {
@@ -108,95 +160,22 @@ func (n *Network) pathLatency(a, b int) sim.Time {
 func (n *Network) ControlLatency(a, b int) sim.Time { return n.pathLatency(a, b) }
 
 // Transfer books a data movement of size bytes from srcNode to dstNode on
-// the given unit, ready to start no earlier than `ready`. It books the
-// source NIC engine and every directional link on the dimension-ordered
-// path (wormhole approximation: a common start time after the most-loaded
-// link frees, one serialization term at the bottleneck bandwidth, per-hop
-// latency). It returns:
-//
-//	srcDone:   the source engine is free / source buffer no longer in use
-//	dstArrive: the last byte has landed in destination memory
+// the given unit, ready to start no earlier than `ready`. See
+// unitEngine.Transfer for the booking semantics.
 func (n *Network) Transfer(srcNode, dstNode, size int, u Unit, ready sim.Time) (srcDone, dstArrive sim.Time) {
-	if size < 0 {
-		size = 0
-	}
-	n.transfers++
-	n.bytes += int64(size)
-	overhead, bw := n.P.unitCosts(u)
-	serUnit := sim.DurationOf(size, bw)
-	engine := n.unitRes(srcNode, u)
-
-	if srcNode == dstNode {
-		// NIC loopback. Contends with inter-node traffic on the same engine
-		// (the behaviour Section IV.C warns about).
-		ser := serUnit
-		if lb := sim.DurationOf(size, n.P.LoopbackBW); lb > ser {
-			ser = lb
-		}
-		_, e := engine.Acquire(ready, overhead+ser)
-		return e, e + n.P.LoopbackLatency
-	}
-
-	es, ee := engine.Acquire(ready, overhead+serUnit)
-	launch := es + overhead
-	dstArrive = n.bookPath(srcNode, dstNode, size, serUnit, launch)
-	return ee, dstArrive
+	return n.engine(srcNode, u).Transfer(dstNode, size, ready)
 }
 
-// bookPath advances a message head along the dimension-ordered path,
-// booking each directional link in its earliest gap (wormhole-style: the
-// head waits where a link is busy, serialization overlaps across hops).
-// It returns the arrival time of the last byte in destination memory.
-func (n *Network) bookPath(srcNode, dstNode, size int, serUnit, launch sim.Time) sim.Time {
-	path := n.Topo.Path(srcNode, dstNode)
-	serLink := sim.DurationOf(size, n.P.LinkBW)
-	ser := serUnit
-	if serLink > ser {
-		ser = serLink
-	}
-	t := launch
-	lastStart := launch
-	for _, l := range path {
-		s, _ := n.links[n.Topo.LinkIndex(l)].Acquire(t, serLink)
-		lastStart = s
-		t = s + n.P.HopLatency
-	}
-	return lastStart + n.P.HopLatency + n.P.InjectionLatency + ser
-}
-
-// Get books a read transaction: the requester's engine sends a read request
-// to the target node, and the data flows back along target->requester
-// links. It returns when the request engine is done issuing and when the
-// data has fully arrived at the requester.
+// Get books a read transaction issued by the requester against the
+// target. See unitEngine.Get for the booking semantics.
 func (n *Network) Get(requester, target, size int, u Unit, ready sim.Time) (reqDone, dataArrive sim.Time) {
-	if size < 0 {
-		size = 0
-	}
-	n.transfers++
-	n.bytes += int64(size)
-	overhead, bw := n.P.unitCosts(u)
-	serUnit := sim.DurationOf(size, bw)
-	engine := n.unitRes(requester, u)
-
-	if requester == target {
-		ser := serUnit
-		if lb := sim.DurationOf(size, n.P.LoopbackBW); lb > ser {
-			ser = lb
-		}
-		_, e := engine.Acquire(ready, overhead+ser)
-		return e, e + n.P.LoopbackLatency
-	}
-
-	es, ee := engine.Acquire(ready, overhead+serUnit)
-	reqArrive := es + overhead + n.pathLatency(requester, target)
-	dataArrive = n.bookPath(target, requester, size, serUnit, reqArrive)
-	return ee, dataArrive
+	return n.engine(requester, u).Get(target, size, ready)
 }
 
 // BusiestResources reports the k busiest NIC engines and links (diagnostic
 // aid: "name busy=<total> freeAt=<t> acquires=<n>").
 func (n *Network) BusiestResources(k int) []string {
-	all := make([]*sim.Resource, 0, len(n.links)+2*len(n.nodes))
+	all := make([]*sim.GapResource, 0, len(n.links)+2*len(n.nodes))
 	for _, nd := range n.nodes {
 		all = append(all, nd.FMA, nd.BTE)
 	}

@@ -29,6 +29,10 @@ const (
 	// UnitSMSG is the short-message path (GNI SMSG): FMA hardware with the
 	// mailbox protocol's per-message overhead.
 	UnitSMSG
+	// UnitMSGQ is the shared-queue path (GNI MSGQ): the SMSG hardware view
+	// plus a fixed wire-protocol surcharge per delivery (paper II-B:
+	// scalable memory "at the expense of lower performance").
+	UnitMSGQ
 )
 
 // String names the unit for diagnostics.
@@ -40,6 +44,8 @@ func (u Unit) String() string {
 		return "BTE"
 	case UnitSMSG:
 		return "SMSG"
+	case UnitMSGQ:
+		return "MSGQ"
 	}
 	return "unit?"
 }
@@ -141,7 +147,7 @@ func (p Params) unitCosts(u Unit) (overhead sim.Time, bw float64) {
 		return p.FMAOverhead, p.FMABW
 	case UnitBTE:
 		return p.BTEOverhead, p.BTEBW
-	case UnitSMSG:
+	case UnitSMSG, UnitMSGQ:
 		return p.SMSGOverhead, p.FMABW
 	}
 	panic("gemini: unknown unit")

@@ -41,7 +41,7 @@ type Host interface {
 	NumPEs() int
 	// CPU returns the serially reusable processor resource of a PE; machine
 	// layers book receive-side protocol work on it.
-	CPU(pe int) *sim.Resource
+	CPU(pe int) *sim.PEResource
 	// Deliver hands a fully received message to the destination scheduler
 	// no earlier than at.
 	Deliver(pe int, msg *Message, at sim.Time)

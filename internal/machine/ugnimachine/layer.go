@@ -177,7 +177,8 @@ type Layer struct {
 	pools   []*mem.Pool
 	rxCQ    []*ugni.CQ
 	rdmaCQ  []*ugni.CQ
-	commCPU []*sim.Resource // per-node comm thread (SMP mode)
+	commCPU []*sim.PEResource // per-node comm thread (SMP mode)
+	loop    *shm.Loopback     // pxshm intra-node engine (sim.NICEngine)
 
 	pending  map[uint64]*pendingSend
 	nextID   uint64
@@ -238,19 +239,25 @@ func (l *Layer) Start(h lrts.Host) {
 	if l.cfg.UseMempool {
 		l.pools = make([]*mem.Pool, n)
 	}
+	l.loop = shm.NewLoopback(h.Eng(), l.cfg.Pxshm, sim.Lit("pxshm"))
 	if l.cfg.SMP {
+		probe := h.Eng().Probe()
 		for node := 0; node < l.gni.Net.NumNodes(); node++ {
-			l.commCPU = append(l.commCPU, sim.NewResource(fmt.Sprintf("node%d.commthread", node)))
+			cpu := sim.NewPEResource(sim.Indexed("node", node, ".commthread"))
+			if probe != nil {
+				cpu.SetProbe(probe)
+			}
+			l.commCPU = append(l.commCPU, cpu)
 		}
 	}
 	for pe := 0; pe < n; pe++ {
 		pe := pe
-		rx := l.gni.CqCreate(fmt.Sprintf("pe%d.smsg", pe))
+		rx := l.gni.CqCreateIdx("pe", pe, ".smsg")
 		rx.OnEvent = func(ev ugni.Event) { l.onSmsg(pe, ev) }
 		l.gni.AttachSmsgCQ(pe, rx)
 		l.rxCQ[pe] = rx
 
-		rc := l.gni.CqCreate(fmt.Sprintf("pe%d.rdma", pe))
+		rc := l.gni.CqCreateIdx("pe", pe, ".rdma")
 		rc.OnEvent = func(ev ugni.Event) { l.onRdma(pe, ev) }
 		l.rdmaCQ[pe] = rc
 
@@ -388,10 +395,12 @@ func (l *Layer) sendLarge(ctx lrts.SendContext, msg *lrts.Message) {
 func (l *Layer) sendIntra(ctx lrts.SendContext, msg *lrts.Message) {
 	l.bump("intra_sent")
 	if l.cfg.SMP {
+		// Pointer handoff through the node-shared queue: the loopback
+		// engine carries only the notification flight time.
 		ctx.Charge(l.cfg.SMPHandoff)
-		arrive := ctx.Now() + l.cfg.Pxshm.NotifyLatency
 		dst := msg.DstPE
-		l.host.Eng().At(arrive, func() {
+		_, arrive := l.loop.Transfer(dst, msg.Size, ctx.Now())
+		l.loop.Enqueue(arrive, func() {
 			s, e := l.host.CPU(dst).Acquire(arrive, l.cfg.Pxshm.PollCost)
 			l.host.NoteOverhead(dst, s, e)
 			l.host.Deliver(dst, msg, e)
@@ -403,9 +412,9 @@ func (l *Layer) sendIntra(ctx lrts.SendContext, msg *lrts.Message) {
 		mode = shm.DoubleCopy
 	}
 	ctx.Charge(l.cfg.Pxshm.SendCost(msg.Size, mode))
-	arrive := ctx.Now() + l.cfg.Pxshm.Latency()
 	dst := msg.DstPE
-	l.host.Eng().At(arrive, func() {
+	_, arrive := l.loop.Transfer(dst, msg.Size, ctx.Now())
+	l.loop.Enqueue(arrive, func() {
 		work := l.cfg.Pxshm.RecvCost(msg.Size, mode)
 		if mode == shm.DoubleCopy {
 			// The copy-out lands in a runtime buffer that is freed after

@@ -28,7 +28,7 @@ import (
 // Host provides the per-rank CPU resources and the engine.
 type Host interface {
 	Eng() *sim.Engine
-	CPU(rank int) *sim.Resource
+	CPU(rank int) *sim.PEResource
 }
 
 // Config tunes the library.
@@ -88,8 +88,9 @@ type Comm struct {
 
 	rxq       [][]*Envelope // per-rank unexpected-message queue
 	onArrival []func(env *Envelope)
-	dreg      []map[BufID]bool // per-rank registration cache
+	dreg      []map[BufID]bool // per-rank registration cache (lazy per rank)
 	rdmaCQs   []*ugni.CQ       // per-rank eager-large landing CQ
+	loop      *shm.Loopback    // intra-node engine (sim.NICEngine)
 
 	stats map[string]int64
 }
@@ -114,14 +115,14 @@ func New(g *ugni.GNI, host Host, cfg Config) *Comm {
 		dreg:      make([]map[BufID]bool, n),
 		stats:     make(map[string]int64),
 	}
+	c.loop = shm.NewLoopback(host.Eng(), cfg.Shm, sim.Lit("mpi.shm"))
 	for rank := 0; rank < n; rank++ {
 		rank := rank
-		c.dreg[rank] = make(map[BufID]bool)
-		rx := g.CqCreate(fmt.Sprintf("mpi.rank%d.rx", rank))
+		rx := g.CqCreateIdx("mpi.rank", rank, ".rx")
 		rx.OnEvent = func(ev ugni.Event) { c.onSmsg(rank, ev) }
 		g.AttachSmsgCQ(rank, rx)
 
-		rc := g.CqCreate(fmt.Sprintf("mpi.rank%d.rdma", rank))
+		rc := g.CqCreateIdx("mpi.rank", rank, ".rdma")
 		rc.OnEvent = func(ev ugni.Event) { c.onRdma(rank, ev) }
 		c.rdmaCQs = append(c.rdmaCQs, rc)
 	}
@@ -157,6 +158,9 @@ func (c *Comm) registerCached(rank int, buf BufID, size int) sim.Time {
 		return 0
 	}
 	if buf != 0 {
+		if c.dreg[rank] == nil {
+			c.dreg[rank] = make(map[BufID]bool)
+		}
 		c.dreg[rank][buf] = true
 	}
 	c.bump("udreg_misses")
@@ -223,8 +227,8 @@ func (c *Comm) isendIntra(src, dst, size int, payload any, at sim.Time) sim.Time
 		cpu += c.cfg.Shm.SendCost(size, shm.DoubleCopy)
 	}
 	// XPMEM path: no sender copy, the receiver will map and copy once.
-	arrive := at + cpu + c.cfg.Shm.Latency()
-	c.host.Eng().At(arrive, func() { c.arrive(dst, env, arrive) })
+	_, arrive := c.loop.Transfer(dst, size, at+cpu)
+	c.loop.Enqueue(arrive, func() { c.arrive(dst, env, arrive) })
 	return cpu
 }
 

@@ -1,7 +1,6 @@
 package mpi
 
 import (
-	"fmt"
 	"testing"
 
 	"charmgo/internal/gemini"
@@ -12,11 +11,11 @@ import (
 // testHost is a minimal mpi.Host for library tests.
 type testHost struct {
 	eng  *sim.Engine
-	cpus []*sim.Resource
+	cpus []*sim.PEResource
 }
 
-func (h *testHost) Eng() *sim.Engine           { return h.eng }
-func (h *testHost) CPU(rank int) *sim.Resource { return h.cpus[rank] }
+func (h *testHost) Eng() *sim.Engine             { return h.eng }
+func (h *testHost) CPU(rank int) *sim.PEResource { return h.cpus[rank] }
 
 func newComm(t *testing.T, nodes int) (*Comm, *testHost) {
 	t.Helper()
@@ -25,7 +24,7 @@ func newComm(t *testing.T, nodes int) (*Comm, *testHost) {
 	g := ugni.New(net)
 	h := &testHost{eng: eng}
 	for i := 0; i < net.NumPEs(); i++ {
-		h.cpus = append(h.cpus, sim.NewResource(fmt.Sprintf("cpu%d", i)))
+		h.cpus = append(h.cpus, sim.NewPEResource(sim.Indexed("cpu", i, "")))
 	}
 	return New(g, h, DefaultConfig()), h
 }

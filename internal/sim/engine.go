@@ -1,42 +1,89 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created through Engine.Schedule and Engine.At.
+// Event is a handle to a scheduled callback, usable to Cancel it before it
+// fires. Event records are pooled: once an event has fired (or its
+// cancellation has been reclaimed), the record is reused by a later
+// At/Schedule call. Holding a handle to a *pending* event is always safe;
+// a handle retained past its firing must not be used again.
 type Event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among events at the same instant
-	fn     func()
-	index  int // heap index, -1 when not queued
-	cancel bool
+	eng   *Engine
+	at    Time
+	fn    func()
+	state uint8
+	next  *Event // free-list link while pooled
 }
 
-// Time reports the virtual time at which the event fires (or fired).
+// Event states. A record cycles free -> pending -> (fired|cancelled) -> free.
+const (
+	evFree uint8 = iota
+	evPending
+	evCancelled
+)
+
+// Time reports when the event is scheduled to fire.
 func (ev *Event) Time() Time { return ev.at }
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired, or cancelling twice, is a no-op.
-func (ev *Event) Cancel() { ev.cancel = true }
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancellation is lazy: the heap slot
+// stays until popped or until enough cancellations accumulate to trigger
+// compaction (cancelled > live/2), so a cancel storm cannot leak memory.
+func (ev *Event) Cancel() {
+	if ev.state != evPending {
+		return
+	}
+	ev.state = evCancelled
+	ev.fn = nil
+	e := ev.eng
+	e.live--
+	e.cancelled++
+	if e.cancelled > e.live/2 {
+		e.compact()
+	}
+}
 
-// Engine is a deterministic discrete-event loop. It is not safe for
-// concurrent use: the whole simulated machine lives on one goroutine, which
-// is what makes runs bit-reproducible.
+// entry is one heap slot: the ordering keys are inlined so comparisons
+// never chase the record pointer.
+type entry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+// Engine is a deterministic discrete-event scheduler: a virtual clock and
+// a four-ary min-heap of entries ordered by (time, sequence). Events
+// scheduled for the same instant fire in scheduling order, which makes
+// every simulation reproducible regardless of map iteration or goroutine
+// scheduling (everything runs on the caller's goroutine).
+//
+// The heap holds value entries (24 bytes) over pooled Event records, so
+// steady-state scheduling allocates nothing and sift operations stay in
+// cache; the four-ary layout halves tree depth versus a binary heap,
+// which favors the pop-heavy DES workload.
 type Engine struct {
-	now    Time
-	heap   eventHeap
-	seq    uint64
-	fired  uint64
-	inStep bool
+	now       Time
+	heap      []entry
+	seq       uint64
+	fired     uint64
+	live      int // pending (non-cancelled) events; Pending() is O(1)
+	cancelled int // cancelled events still occupying heap slots
+	free      *Event
+	probe     Probe
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
 	return &Engine{}
 }
+
+// SetProbe installs p to observe every fired event. A nil probe (the
+// default) costs one predictable branch per event.
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
+
+// Probe reports the installed probe, if any, so resources created after
+// the engine can inherit it.
+func (e *Engine) Probe() Probe { return e.probe }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -45,15 +92,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule runs fn after delay units of virtual time. A negative delay is
 // treated as zero. Events scheduled for the same instant fire in the order
@@ -71,22 +110,52 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.at = t
+	ev.fn = fn
+	ev.state = evPending
+	e.push(entry{at: t, seq: e.seq, ev: ev})
 	e.seq++
-	heap.Push(&e.heap, ev)
+	e.live++
 	return ev
+}
+
+// release returns a record to the pool.
+func (e *Engine) release(ev *Event) {
+	ev.state = evFree
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
 }
 
 // Step fires the single next event. It reports false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancel {
+		en := e.popTop()
+		ev := en.ev
+		if ev.state == evCancelled {
+			e.cancelled--
+			e.release(ev)
 			continue
 		}
-		e.now = ev.at
+		fn := ev.fn
+		// Release before running: fn routinely schedules a follow-up, and
+		// reusing this record immediately is what keeps the steady state
+		// allocation-free.
+		e.release(ev)
+		e.live--
+		e.now = en.at
 		e.fired++
-		ev.fn()
+		if e.probe != nil {
+			e.probe.EventFired(e.now, e.live)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -106,12 +175,14 @@ func (e *Engine) Run() uint64 {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.cancel {
-			heap.Pop(&e.heap)
+		top := &e.heap[0]
+		if top.ev.state == evCancelled {
+			en := e.popTop()
+			e.cancelled--
+			e.release(en.ev)
 			continue
 		}
-		if next.at > deadline {
+		if top.at > deadline {
 			break
 		}
 		e.Step()
@@ -125,36 +196,86 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 // RunFor is RunUntil(Now()+d).
 func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
 
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// compact evicts cancelled entries and re-heapifies. Rebuilding with
+// Floyd's algorithm is O(n) and the (time, sequence) total order fully
+// determines pop order, so determinism is unaffected.
+func (e *Engine) compact() {
+	h := e.heap
+	w := 0
+	for _, en := range h {
+		if en.ev.state == evCancelled {
+			e.release(en.ev)
+			continue
+		}
+		h[w] = en
+		w++
 	}
-	return h[i].seq < h[j].seq
+	for i := w; i < len(h); i++ {
+		h[i] = entry{}
+	}
+	e.heap = h[:w]
+	e.cancelled = 0
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		e.siftDown(e.heap[i], i)
+	}
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// push appends en and sifts it up, holding en aside and sliding parents
+// down so en is written once at its final slot.
+func (e *Engine) push(en entry) {
+	e.heap = append(e.heap, entry{})
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].at < en.at || (h[p].at == en.at && h[p].seq < en.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = en
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// popTop removes and returns the minimum entry.
+func (e *Engine) popTop() entry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = entry{}
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last, 0)
+	}
+	return top
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// siftDown places en into the heap starting at slot i, sliding smaller
+// children up past it.
+func (e *Engine) siftDown(en entry, i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+				m = j
+			}
+		}
+		if en.at < h[m].at || (en.at == h[m].at && en.seq < h[m].seq) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = en
 }

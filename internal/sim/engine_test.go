@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -65,12 +66,65 @@ func TestEngineCancel(t *testing.T) {
 	fired := false
 	ev := e.Schedule(10, func() { fired = true })
 	ev.Cancel()
+	ev.Cancel() // double-cancel is a no-op
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
 	if e.Pending() != 0 {
 		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestEngineCancelStormCompacts checks the cancelled-event leak fix:
+// cancelling most of a large queue must shrink the heap before anything
+// is popped, and the survivors must still fire in order.
+func TestEngineCancelStormCompacts(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	var fired []Time
+	for i := 1; i <= 1000; i++ {
+		d := Time(i)
+		evs = append(evs, e.Schedule(d, func() { fired = append(fired, d) }))
+	}
+	for i, ev := range evs {
+		if i%4 != 0 {
+			ev.Cancel()
+		}
+	}
+	if e.Pending() != 250 {
+		t.Fatalf("Pending = %d, want 250", e.Pending())
+	}
+	if got := len(e.heap); got > 500 {
+		t.Fatalf("heap holds %d entries after cancel storm, want compaction below 500", got)
+	}
+	e.Run()
+	if len(fired) != 250 {
+		t.Fatalf("fired %d, want 250", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("post-compaction firing out of order: %v before %v", fired[i-1], fired[i])
+		}
+	}
+}
+
+// TestEngineEventPooling checks that steady-state scheduling reuses event
+// records instead of allocating.
+func TestEngineEventPooling(t *testing.T) {
+	e := NewEngine()
+	var fn func()
+	fn = func() {
+		if e.Now() < 1000 {
+			e.Schedule(1, fn)
+		}
+	}
+	e.Schedule(1, fn)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Step allocates %.1f objects/op, want 0", allocs)
 	}
 }
 
@@ -151,7 +205,7 @@ func TestEngineDeterminism(t *testing.T) {
 }
 
 func TestResourceSerializes(t *testing.T) {
-	r := NewResource("link")
+	r := NewPEResource(Lit("link"))
 	s1, e1 := r.Acquire(0, 10)
 	if s1 != 0 || e1 != 10 {
 		t.Fatalf("first acquire = [%v,%v), want [0,10)", s1, e1)
@@ -179,7 +233,7 @@ func TestResourceNeverOverlaps(t *testing.T) {
 		At  uint16
 		Dur uint8
 	}) bool {
-		r := NewResource("x")
+		r := NewPEResource(Lit("x"))
 		lastEnd := Time(0)
 		for _, q := range reqs {
 			s, e := r.Acquire(Time(q.At), Time(q.Dur))
@@ -212,6 +266,15 @@ func TestTimeString(t *testing.T) {
 		if got := c.in.String(); got != c.want {
 			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
 		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Lit("cpu").String(); got != "cpu" {
+		t.Fatalf("Lit = %q", got)
+	}
+	if got := Indexed("node", 17, ".fma").String(); got != "node17.fma" {
+		t.Fatalf("Indexed = %q", got)
 	}
 }
 
@@ -267,8 +330,11 @@ func TestMixIsDeterministicAndSpreads(t *testing.T) {
 	}
 }
 
+// zeroClock is the clock for gap-resource tests that never advance time.
+func zeroClock() Time { return 0 }
+
 func TestGapResourceFillsHoles(t *testing.T) {
-	r := NewGapResource("link")
+	r := NewGapResource(Lit("link"), zeroClock)
 	// A far-future booking must not block an earlier-ready request.
 	s1, e1 := r.Acquire(1000, 50)
 	if s1 != 1000 || e1 != 1050 {
@@ -286,12 +352,15 @@ func TestGapResourceFillsHoles(t *testing.T) {
 }
 
 func TestGapResourceExactFit(t *testing.T) {
-	r := NewGapResource("x")
+	r := NewGapResource(Lit("x"), zeroClock)
 	r.Acquire(0, 10)
 	r.Acquire(20, 10)
 	s, e := r.Acquire(5, 10) // exactly fits [10,20)
 	if s != 10 || e != 20 {
 		t.Fatalf("exact-fit booking = [%v,%v), want [10,20)", s, e)
+	}
+	if r.Intervals() != 1 {
+		t.Fatalf("Intervals = %d after full merge, want 1", r.Intervals())
 	}
 	// Everything merged into one interval now: next booking at 30.
 	s2, _ := r.Acquire(0, 1)
@@ -300,12 +369,31 @@ func TestGapResourceExactFit(t *testing.T) {
 	}
 }
 
+func TestGapResourcePeek(t *testing.T) {
+	r := NewGapResource(Lit("x"), zeroClock)
+	r.Acquire(0, 10)
+	r.Acquire(20, 10)
+	if s, e := r.Peek(5, 10); s != 10 || e != 20 {
+		t.Fatalf("Peek = [%v,%v), want [10,20)", s, e)
+	}
+	if r.Intervals() != 2 {
+		t.Fatal("Peek booked")
+	}
+	// Peek with zero duration reports the next idle instant.
+	if s, _ := r.Peek(3, 0); s != 10 {
+		t.Fatalf("Peek(3,0) = %v, want 10", s)
+	}
+	if s, _ := r.Peek(15, 0); s != 15 {
+		t.Fatalf("Peek(15,0) = %v, want 15", s)
+	}
+}
+
 func TestGapResourceNeverOverlaps(t *testing.T) {
 	f := func(reqs []struct {
 		At  uint16
 		Dur uint8
 	}) bool {
-		r := NewGapResource("x")
+		r := NewGapResource(Lit("x"), zeroClock)
 		type iv struct{ s, e Time }
 		var booked []iv
 		for _, q := range reqs {
@@ -330,39 +418,149 @@ func TestGapResourceNeverOverlaps(t *testing.T) {
 	}
 }
 
+// linearGap is the reference gap-filling implementation (the old sorted
+// slice): the treap must book bit-identically against it.
+type linearGap struct{ iv []struct{ s, e Time } }
+
+func (l *linearGap) acquire(at, dur Time) (Time, Time) {
+	pos := at
+	i := sort.Search(len(l.iv), func(i int) bool { return l.iv[i].e > at })
+	for ; i < len(l.iv); i++ {
+		if l.iv[i].s-pos >= dur {
+			break
+		}
+		if l.iv[i].e > pos {
+			pos = l.iv[i].e
+		}
+	}
+	s, e := pos, pos+dur
+	if dur > 0 {
+		j := sort.Search(len(l.iv), func(i int) bool { return l.iv[i].s >= s })
+		switch {
+		case j > 0 && l.iv[j-1].e == s:
+			l.iv[j-1].e = e
+			if j < len(l.iv) && l.iv[j].s == e {
+				l.iv[j-1].e = l.iv[j].e
+				l.iv = append(l.iv[:j], l.iv[j+1:]...)
+			}
+		case j < len(l.iv) && l.iv[j].s == e:
+			l.iv[j].s = s
+		default:
+			l.iv = append(l.iv, struct{ s, e Time }{})
+			copy(l.iv[j+1:], l.iv[j:])
+			l.iv[j] = struct{ s, e Time }{s, e}
+		}
+	}
+	return s, e
+}
+
+// TestGapResourceMatchesLinearReference drives the treap and the
+// reference slice implementation with identical random request streams
+// (including clock advancement and pruning on the treap side) and
+// requires identical bookings — the refactor's bit-identical guarantee.
+func TestGapResourceMatchesLinearReference(t *testing.T) {
+	rng := NewRNG(12345)
+	var now Time
+	r := NewGapResource(Lit("x"), func() Time { return now })
+	ref := &linearGap{}
+	for op := 0; op < 20000; op++ {
+		at := now + Time(rng.Intn(2000))
+		dur := Time(rng.Intn(50))
+		s1, e1 := r.Acquire(at, dur)
+		s2, e2 := ref.acquire(at, dur)
+		if s1 != s2 || e1 != e2 {
+			t.Fatalf("op %d: treap [%v,%v) != reference [%v,%v) for Acquire(%v,%v)",
+				op, s1, e1, s2, e2, at, dur)
+		}
+		if op%64 == 63 {
+			// Advance the clock; pruning must never change results. The
+			// reference keeps everything, which is the ground truth.
+			now += Time(rng.Intn(500))
+		}
+	}
+	if r.Intervals() > ref.count() {
+		t.Fatalf("treap holds %d intervals, reference %d", r.Intervals(), ref.count())
+	}
+}
+
+func (l *linearGap) count() int { return len(l.iv) }
+
 func TestGapResourcePruneWithClock(t *testing.T) {
 	var now Time
-	r := NewGapResource("x")
-	r.Clock = func() Time { return now }
+	r := NewGapResource(Lit("x"), func() Time { return now })
 	for i := 0; i < 100; i++ {
 		r.Acquire(Time(i*10), 5)
 	}
 	now = 2000
 	r.Acquire(2000, 5) // triggers prune
-	if len(r.iv) > 2 {
-		t.Fatalf("prune left %d intervals", len(r.iv))
+	if n := r.Intervals(); n > 2 {
+		t.Fatalf("prune left %d intervals", n)
 	}
 	if r.FreeAt() != 2005 {
 		t.Fatalf("FreeAt = %v", r.FreeAt())
 	}
 }
 
-func TestGapResourceCapWithoutClock(t *testing.T) {
-	r := NewGapResource("x")
-	// Disjoint bookings far apart so nothing merges.
-	for i := 0; i < maxIntervals+100; i++ {
-		r.Acquire(Time(i*10), 5)
-	}
-	if len(r.iv) > maxIntervals+1 {
-		t.Fatalf("interval count %d exceeded cap", len(r.iv))
-	}
+func TestGapResourceRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGapResource(nil clock) did not panic")
+		}
+	}()
+	NewGapResource(Lit("x"), nil)
 }
 
 func TestBusyUntilResourceStillFIFO(t *testing.T) {
-	r := NewResource("cpu")
+	r := NewPEResource(Lit("cpu"))
 	r.Acquire(100, 10)
 	s, _ := r.Acquire(0, 5) // must NOT fill the hole before 100
 	if s != 110 {
 		t.Fatalf("busy-until resource gap-filled: start %v, want 110", s)
+	}
+}
+
+// probeLog is a test probe.
+type probeLog struct {
+	events   int
+	bookings int
+	booked   Time
+}
+
+func (p *probeLog) EventFired(now Time, pending int) { p.events++ }
+func (p *probeLog) Booking(r Booked, at, start, end Time) {
+	p.bookings++
+	p.booked += end - start
+}
+
+// TestProbeObservesKernel checks that an installed probe sees every fired
+// event and every booking on both resource kinds, and that KernelStats
+// aggregates per-resource busy time.
+func TestProbeObservesKernel(t *testing.T) {
+	e := NewEngine()
+	p := &probeLog{}
+	ks := NewKernelStats()
+	e.SetProbe(Probes(p, ks))
+	cpu := NewPEResource(Lit("cpu"))
+	cpu.SetProbe(e.Probe())
+	link := NewGapResource(Lit("link"), e.Now)
+	link.SetProbe(e.Probe())
+	e.Schedule(5, func() {
+		cpu.Acquire(e.Now(), 10)
+		link.Acquire(e.Now(), 7)
+	})
+	e.Schedule(9, func() {})
+	e.Run()
+	if p.events != 2 || ks.Events != 2 {
+		t.Fatalf("probe saw %d/%d events, want 2", p.events, ks.Events)
+	}
+	if p.bookings != 2 || p.booked != 17 {
+		t.Fatalf("probe saw %d bookings totalling %v, want 2 totalling 17", p.bookings, p.booked)
+	}
+	if ks.BookedTime != 17 {
+		t.Fatalf("KernelStats.BookedTime = %v, want 17", ks.BookedTime)
+	}
+	rows := ks.TopResources(10)
+	if len(rows) != 2 || rows[0].Name != "cpu" || rows[0].Busy != 10 {
+		t.Fatalf("TopResources = %+v", rows)
 	}
 }

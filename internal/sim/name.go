@@ -1,0 +1,29 @@
+package sim
+
+import "strconv"
+
+// Name is a deferred diagnostic label. Machine construction creates
+// thousands of resources and queues per simulated job, and eagerly
+// formatting "node17.fma"-style labels was a measurable share of setup
+// cost; Name keeps the parts and renders only when a human asks.
+type Name struct {
+	pre, post string
+	idx       int32
+	indexed   bool
+}
+
+// Lit names an object with a fixed string.
+func Lit(s string) Name { return Name{pre: s} }
+
+// Indexed names an object "<pre><idx><post>", rendered lazily.
+func Indexed(pre string, idx int, post string) Name {
+	return Name{pre: pre, post: post, idx: int32(idx), indexed: true}
+}
+
+// String renders the label.
+func (n Name) String() string {
+	if !n.indexed {
+		return n.pre
+	}
+	return n.pre + strconv.Itoa(int(n.idx)) + n.post
+}

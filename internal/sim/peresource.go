@@ -1,0 +1,74 @@
+package sim
+
+// PEResource models a serially reusable processor: requests queue strictly
+// FIFO behind the last booking (busy-until discipline). This is right for
+// PE CPUs and comm-thread CPUs, whose bookings are issued in execution
+// order by the scheduler and progress engine.
+type PEResource struct {
+	name      Name
+	busyUntil Time
+	busyTotal Time
+	acquires  uint64
+	probe     Probe
+}
+
+// NewPEResource returns an idle FIFO (busy-until) resource.
+func NewPEResource(name Name) *PEResource {
+	return &PEResource{name: name}
+}
+
+// SetProbe installs p to observe every booking (nil disables).
+func (r *PEResource) SetProbe(p Probe) { r.probe = p }
+
+// Name reports the diagnostic name given at construction.
+func (r *PEResource) Name() string { return r.name.String() }
+
+// Acquire books the resource for dur units starting no earlier than at and
+// returns the booked interval [start, end).
+func (r *PEResource) Acquire(at, dur Time) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	r.acquires++
+	r.busyTotal += dur
+	start = at
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start + dur
+	r.busyUntil = end
+	if r.probe != nil {
+		r.probe.Booking(r, at, start, end)
+	}
+	return start, end
+}
+
+// FreeAt reports the time after which the resource is idle forever given
+// current bookings (the queue tail).
+func (r *PEResource) FreeAt() Time { return r.busyUntil }
+
+// BusyTotal reports the cumulative booked time.
+func (r *PEResource) BusyTotal() Time { return r.busyTotal }
+
+// Acquires reports how many bookings have been made.
+func (r *PEResource) Acquires() uint64 { return r.acquires }
+
+// Utilization reports busyTotal / window, clamped to [0, 1]; it is a
+// convenience for load reporting.
+func (r *PEResource) Utilization(window Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	u := float64(r.busyTotal) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset returns the resource to idle and clears statistics.
+func (r *PEResource) Reset() {
+	r.busyUntil = 0
+	r.busyTotal = 0
+	r.acquires = 0
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "sort"
+
+// Probe observes kernel activity: every fired event and every resource
+// booking across the whole machine flows through one installed probe, so
+// higher layers (trace, stats) consume a single source of truth instead
+// of ad-hoc counters. A probe is zero-cost when disabled — each call site
+// is behind a nil check on a predictable branch — and must not mutate
+// simulation state, so enabling one never changes virtual-time results.
+type Probe interface {
+	// EventFired reports one executed event: the clock value it advanced
+	// the engine to and the number of events still pending.
+	EventFired(now Time, pending int)
+	// Booking reports one resource booking: the requested ready time and
+	// the interval actually granted.
+	Booking(r Booked, at, start, end Time)
+}
+
+// Booked is the read-only view of a resource a Probe receives.
+type Booked interface {
+	Name() string
+	BusyTotal() Time
+	Acquires() uint64
+}
+
+// Probes fans a probe stream out to several consumers.
+func Probes(ps ...Probe) Probe { return multiProbe(ps) }
+
+type multiProbe []Probe
+
+func (m multiProbe) EventFired(now Time, pending int) {
+	for _, p := range m {
+		p.EventFired(now, pending)
+	}
+}
+
+func (m multiProbe) Booking(r Booked, at, start, end Time) {
+	for _, p := range m {
+		p.Booking(r, at, start, end)
+	}
+}
+
+// KernelStats is the stock probe: cheap global counters plus per-resource
+// busy totals. It answers "how much simulated work did this run book, and
+// where" without any layer keeping its own tallies.
+type KernelStats struct {
+	Events      uint64 // events fired
+	Bookings    uint64 // resource acquisitions observed
+	BookedTime  Time   // sum of granted interval lengths
+	PeakPending int    // high-water mark of the event queue
+	byRes       map[Booked]Time
+}
+
+// NewKernelStats returns an empty collector ready to install as a Probe.
+func NewKernelStats() *KernelStats {
+	return &KernelStats{byRes: make(map[Booked]Time)}
+}
+
+func (k *KernelStats) EventFired(now Time, pending int) {
+	k.Events++
+	if pending > k.PeakPending {
+		k.PeakPending = pending
+	}
+}
+
+func (k *KernelStats) Booking(r Booked, at, start, end Time) {
+	k.Bookings++
+	k.BookedTime += end - start
+	k.byRes[r] += end - start
+}
+
+// ResourceUsage is one row of a utilization snapshot.
+type ResourceUsage struct {
+	Name     string
+	Busy     Time
+	Acquires uint64
+}
+
+// TopResources returns up to n resources ordered by observed busy time
+// (descending, ties by name for determinism).
+func (k *KernelStats) TopResources(n int) []ResourceUsage {
+	rows := make([]ResourceUsage, 0, len(k.byRes))
+	for r, busy := range k.byRes {
+		rows = append(rows, ResourceUsage{Name: r.Name(), Busy: busy, Acquires: r.Acquires()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Busy != rows[j].Busy {
+			return rows[i].Busy > rows[j].Busy
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows
+}

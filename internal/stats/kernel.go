@@ -1,0 +1,21 @@
+package stats
+
+import (
+	"fmt"
+
+	"charmgo/internal/sim"
+)
+
+// KernelTable renders a kernel-statistics snapshot as a harness table: the
+// global counters, then the top-n resources by booked time. It is how the
+// harness prints the kernel's single source of truth (sim.Probe) instead of
+// each layer keeping private tallies.
+func KernelTable(ks *sim.KernelStats, top int) *Table {
+	t := NewTable("simulation kernel", "resource", "busy", "acquires")
+	t.Note = fmt.Sprintf("events=%d bookings=%d booked=%v peak-pending=%d",
+		ks.Events, ks.Bookings, ks.BookedTime, ks.PeakPending)
+	for _, r := range ks.TopResources(top) {
+		t.Add(r.Name, r.Busy.String(), r.Acquires)
+	}
+	return t
+}

@@ -101,27 +101,33 @@ func (t Torus) LinkIndex(l Link) int {
 // a to b as the sequence of directional links traversed. Ties in wrap
 // direction prefer the positive direction. Path(a, a) is empty.
 func (t Torus) Path(a, b int) []Link {
+	return t.AppendPath(nil, a, b)
+}
+
+// AppendPath appends the dimension-ordered path from a to b to buf and
+// returns it, letting hot callers reuse one scratch slice across millions
+// of bookings instead of allocating per path.
+func (t Torus) AppendPath(buf []Link, a, b int) []Link {
 	t.check(a)
 	t.check(b)
 	if a == b {
-		return nil
+		return buf
 	}
 	dims := t.Dims()
 	var ac, bc [NumDims]int
 	ac[0], ac[1], ac[2] = t.Coords(a)
 	bc[0], bc[1], bc[2] = t.Coords(b)
-	path := make([]Link, 0, t.Hops(a, b))
 	cur := ac
 	for dim := 0; dim < NumDims; dim++ {
 		size := dims[dim]
 		dist, dir := torusStep(cur[dim], bc[dim], size)
 		for i := 0; i < dist; i++ {
 			from := t.Node(cur[0], cur[1], cur[2])
-			path = append(path, Link{From: from, Dim: dim, Dir: dir})
+			buf = append(buf, Link{From: from, Dim: dim, Dir: dir})
 			cur[dim] = wrap(cur[dim]+dir, size)
 		}
 	}
-	return path
+	return buf
 }
 
 func (t Torus) check(node int) {

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"charmgo/internal/sim"
+)
+
+// KernelProfile is a sim.Probe that bins simulation-kernel activity over
+// virtual time: how many events fired and how much resource time was booked
+// in each fixed-width bin. Where Recorder profiles what the *application*
+// did with its PEs, KernelProfile profiles what the *kernel* did — NIC
+// engines, links, and CPUs all feed the same stream — so hot phases of a
+// run show up without instrumenting any layer individually.
+type KernelProfile struct {
+	binWidth sim.Time
+	events   []uint64
+	booked   []sim.Time
+	maxPend  int
+}
+
+var _ sim.Probe = (*KernelProfile)(nil)
+
+// NewKernelProfile creates a profile with the given bin width.
+func NewKernelProfile(binWidth sim.Time) *KernelProfile {
+	if binWidth <= 0 {
+		panic("trace: non-positive bin width")
+	}
+	return &KernelProfile{binWidth: binWidth}
+}
+
+// EventFired implements sim.Probe.
+func (k *KernelProfile) EventFired(now sim.Time, pending int) {
+	bin := int(now / k.binWidth)
+	k.grow(bin)
+	k.events[bin]++
+	if pending > k.maxPend {
+		k.maxPend = pending
+	}
+}
+
+// Booking implements sim.Probe: the granted interval is split across bins
+// the same way Recorder.Add splits busy intervals.
+func (k *KernelProfile) Booking(_ sim.Booked, _, start, end sim.Time) {
+	for start < end {
+		bin := int(start / k.binWidth)
+		binEnd := sim.Time(bin+1) * k.binWidth
+		seg := end
+		if binEnd < seg {
+			seg = binEnd
+		}
+		k.grow(bin)
+		k.booked[bin] += seg - start
+		start = seg
+	}
+}
+
+func (k *KernelProfile) grow(bin int) {
+	for len(k.events) <= bin {
+		k.events = append(k.events, 0)
+		k.booked = append(k.booked, 0)
+	}
+}
+
+// Bins reports the number of non-empty profile bins.
+func (k *KernelProfile) Bins() int { return len(k.events) }
+
+// PeakPending reports the event queue's high-water mark.
+func (k *KernelProfile) PeakPending() int { return k.maxPend }
+
+// Render draws one row per bin: event count and booked resource time.
+func (k *KernelProfile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel profile (bin=%v, peak pending=%d)\n", k.binWidth, k.maxPend)
+	for i := range k.events {
+		fmt.Fprintf(&b, "%10v | %6d events | %v booked\n",
+			sim.Time(i)*k.binWidth, k.events[i], k.booked[i])
+	}
+	return b.String()
+}

@@ -62,7 +62,7 @@ type Event struct {
 // OnEvent at the event's visibility time; GetEvent drains the queue in
 // order, mirroring GNI_CqGetEvent.
 type CQ struct {
-	name string
+	name sim.Name
 	eng  *sim.Engine
 	q    []Event
 
@@ -78,7 +78,7 @@ type CQ struct {
 }
 
 // Name reports the queue's diagnostic name.
-func (cq *CQ) Name() string { return cq.name }
+func (cq *CQ) Name() string { return cq.name.String() }
 
 // Len reports the number of queued, undrained events.
 func (cq *CQ) Len() int { return len(cq.q) }

@@ -44,7 +44,13 @@ func (g *GNI) MaxSmsgSize() int { return g.smsgMax }
 
 // CqCreate mirrors GNI_CqCreate: it returns an empty completion queue.
 func (g *GNI) CqCreate(name string) *CQ {
-	return &CQ{name: name, eng: g.Net.Eng}
+	return &CQ{name: sim.Lit(name), eng: g.Net.Eng}
+}
+
+// CqCreateIdx is CqCreate for per-PE queues ("<pre><idx><post>"): the
+// label is kept lazy so creating thousands of queues costs no formatting.
+func (g *GNI) CqCreateIdx(pre string, idx int, post string) *CQ {
+	return &CQ{name: sim.Indexed(pre, idx, post), eng: g.Net.Eng}
 }
 
 // AttachSmsgCQ designates cq as the receive CQ for incoming SMSG messages
@@ -113,7 +119,9 @@ func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at si
 	if rx == nil {
 		return 0, fmt.Errorf("ugni: PE %d has no attached SMSG receive CQ", dst)
 	}
-	srcDone, arrive := g.Net.Transfer(g.Net.NodeOf(src), g.Net.NodeOf(dst), size, gemini.UnitSMSG, at)
+	// Book through the node's SMSG NIC engine (FMA hardware, mailbox
+	// protocol overhead).
+	srcDone, arrive := g.Net.Engine(g.Net.NodeOf(src), gemini.UnitSMSG).Transfer(g.Net.NodeOf(dst), size, at)
 	rx.push(arrive+g.Net.P.CQLatency, Event{
 		Type: EvSmsg, Src: src, Dst: dst, Tag: tag, Size: size, Payload: payload,
 	})

@@ -29,8 +29,9 @@ func (g *GNI) MsgqSend(src, dst int, tag uint8, size int, payload any, at sim.Ti
 	}
 	sNode, dNode := g.Net.NodeOf(src), g.Net.NodeOf(dst)
 	g.connectMsgq(sNode, dNode)
-	_, arrive := g.Net.Transfer(sNode, dNode, size, gemini.UnitSMSG, at)
-	arrive += g.Net.P.MSGQExtraOverhead
+	// The MSGQ NIC engine is the SMSG hardware view plus the protocol's
+	// per-message surcharge, already folded into the arrival time.
+	_, arrive := g.Net.Engine(sNode, gemini.UnitMSGQ).Transfer(dNode, size, at)
 	rx.push(arrive+g.Net.P.CQLatency, Event{
 		Type: EvSmsg, Src: src, Dst: dst, Tag: tag, Size: size, Payload: payload,
 	})
