@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet check bench-smoke
+.PHONY: build test test-race vet lint check bench-smoke
 
 build:
 	$(GO) build ./...
@@ -10,15 +10,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the simulation kernel and NIC model (the packages the
-# pluggable-kernel refactor touches most).
+# Race-check every internal package: the kernel and NIC model, the AMPI
+# rank handoff (TestAMPIRaceClean), and the double-run determinism harness
+# (TestExperimentsDeterministic) all run under the race detector.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/gemini/...
+	$(GO) test -race ./internal/...
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test test-race
+# simlint: the determinism-and-kernel-discipline analyzers
+# (internal/analysis/simlint). Zero findings and zero unexplained
+# suppressions required; see DESIGN.md "Determinism rules".
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+check: build vet lint test test-race
 
 # Quick microbenchmark pass over the kernel hot paths plus the end-to-end
 # fig9a wall-clock benchmark.

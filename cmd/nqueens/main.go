@@ -14,6 +14,7 @@ import (
 
 	"charmgo"
 	"charmgo/internal/ssse"
+	"charmgo/internal/stats"
 )
 
 func main() {
@@ -54,7 +55,8 @@ func main() {
 	}
 	fmt.Printf("tasks: %d  nodes: %d\n", res.Tasks, res.Nodes)
 	fmt.Printf("virtual time: %v\n", res.Elapsed)
-	for k, v := range m.Layer().Stats() {
-		fmt.Printf("  layer %s = %d\n", k, v)
+	layerStats := m.Layer().Stats()
+	for _, k := range stats.SortedKeys(layerStats) {
+		fmt.Printf("  layer %s = %d\n", k, layerStats[k])
 	}
 }

@@ -1,3 +1,10 @@
+// Deliberately zero-dependency: the repo builds and tests offline.
+// simlint (internal/analysis) would normally pin golang.org/x/tools for
+// go/analysis + analysistest, but that cannot be fetched in the offline
+// build environment, so internal/analysis/framework reimplements the
+// needed subset on the standard library (go/ast, go/types, `go list`).
+// If x/tools ever becomes available, the analyzers port over mechanically:
+// framework.Analyzer/Pass mirror analysis.Analyzer/Pass one-to-one.
 module charmgo
 
 go 1.22

@@ -1,0 +1,106 @@
+// Package framework is a self-contained reimplementation of the subset of
+// golang.org/x/tools/go/analysis that the simlint suite needs: the
+// Analyzer/Pass/Diagnostic vocabulary, a module-aware source loader, an
+// analysistest-style fixture runner, and `//simlint:` directive handling.
+//
+// The build environment for this repository is offline, so the canonical
+// x/tools module cannot be added to go.mod; everything here is built on the
+// standard library only (go/ast, go/parser, go/types, and `go list` for
+// package metadata). The API mirrors x/tools deliberately: if the
+// dependency ever becomes available, each analyzer ports by changing one
+// import path.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and in
+// `//simlint:allow <name>` suppression directives; Doc is the one-paragraph
+// contract shown by `simlint -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work. Files holds the parsed
+// syntax, TypesInfo the full type information for every expression in them.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string // import path being analyzed (test variants share the base path)
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// File reports the file name containing pos.
+func (p *Pass) File(pos token.Pos) string { return p.Fset.Position(pos).Filename }
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. Suppression directives are already
+// applied (see suppress.go): explained `//simlint:allow` lines remove their
+// diagnostic, unexplained or unused ones surface as diagnostics themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.PkgPath,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		all = append(all, applySuppressions(pkg, diags)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}

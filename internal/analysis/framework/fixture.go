@@ -1,0 +1,97 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted patterns of a want comment; both analysistest
+// forms are accepted: back-quoted (no escapes) and double-quoted.
+var wantRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want "pattern"` attached to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads the fixture packages under overlayRoot (laid out as
+// overlayRoot/<import/path>/*.go, the analysistest convention), runs the
+// analyzer, and asserts that diagnostics and `// want "regexp"` comments
+// agree exactly: every want must be matched by a diagnostic on its line and
+// every diagnostic must be claimed by a want.
+func RunFixture(t testing.TB, overlayRoot string, a *Analyzer, paths ...string) {
+	t.Helper()
+	l := NewLoader(".")
+	l.Overlay = overlayRoot
+	pkgs, err := l.LoadFixture(paths...)
+	if err != nil {
+		t.Fatalf("loading fixture %v: %v", paths, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses the want comments of one file.
+func collectWants(t testing.TB, pkg *Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "want ")
+			if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fmt.Sprint(pos), pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. For
+// packages with in-package test files the Syntax/Types reflect the test
+// variant (GoFiles + TestGoFiles); external _test packages load as their
+// own Package with PkgPath suffixed "_test".
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	ImportMap    map[string]string
+}
+
+// Loader parses and type-checks packages from source, resolving metadata
+// through `go list` (which works offline) and caching each dependency so
+// the transitive closure — standard library included — is checked once.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root).
+	Dir string
+	// Overlay, when non-empty, is a fixture tree laid out as
+	// <Overlay>/<import/path>/*.go; import paths found there shadow the
+	// real module and the standard library.
+	Overlay string
+
+	fset    *token.FileSet
+	entries map[string]*listEntry
+	pure    map[string]*types.Package // import path -> dependency-view package
+	loading map[string]bool           // import cycle guard for overlay packages
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		entries: make(map[string]*listEntry),
+		pure:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Fset exposes the loader's file set (shared by every loaded package).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list -json` with the given arguments and folds the
+// resulting entries into the loader's metadata table. Test variants
+// ("pkg [pkg.test]") and synthesized test binaries ("pkg.test") are
+// skipped: analysis builds its own variants from TestGoFiles.
+func (l *Loader) goList(args ...string) ([]*listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var fresh []*listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		if e.ForTest != "" || strings.Contains(e.ImportPath, " [") || strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		if _, ok := l.entries[e.ImportPath]; !ok {
+			e := e
+			l.entries[e.ImportPath] = &e
+		}
+		fresh = append(fresh, l.entries[e.ImportPath])
+	}
+	return fresh, nil
+}
+
+// LoadModule loads every package matched by patterns (plus in-package and
+// external test files) for analysis, type-checking the full dependency
+// closure from source.
+func (l *Loader) LoadModule(patterns ...string) ([]*Package, error) {
+	entries, err := l.goList(append([]string{"-deps", "-test"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listEntry
+	for _, e := range entries {
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, e := range targets {
+		variant, err := l.check(e.ImportPath, e.Name, e.Dir,
+			append(append([]string{}, e.GoFiles...), e.TestGoFiles...), e.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, variant)
+		if len(e.XTestGoFiles) > 0 {
+			// External test package. Its import of the base path resolves to
+			// the pure dependency view, like every other importer — the repo
+			// has no export_test.go files, so nothing is lost, and type
+			// identity stays consistent across the whole load.
+			xt, err := l.check(e.ImportPath+"_test", e.Name+"_test", e.Dir, e.XTestGoFiles, e.ImportMap)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads the named import paths from the loader's Overlay tree.
+func (l *Loader) LoadFixture(paths ...string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, p := range paths {
+		dir := filepath.Join(l.Overlay, filepath.FromSlash(p))
+		files, name, err := l.overlayFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.check(p, name, dir, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// overlayFiles lists the .go files of an overlay directory and sniffs the
+// package name from the first one.
+func (l *Loader) overlayFiles(dir string) (files []string, pkgName string, err error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			files = append(files, de.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, "", fmt.Errorf("overlay %s: no Go files", dir)
+	}
+	sort.Strings(files)
+	f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, files[0]), nil, parser.PackageClauseOnly)
+	if err != nil {
+		return nil, "", err
+	}
+	return files, f.Name.Name, nil
+}
+
+// check parses files (names relative to dir) and type-checks them as one
+// package. importMap translates source import paths to resolved ones
+// (vendored standard-library deps).
+func (l *Loader) check(path, name, dir string, files []string, importMap map[string]string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.fset, filepath.Join(dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, parsed)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    &importerFunc{l: l, importMap: importMap},
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{PkgPath: path, Fset: l.fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// importerFunc resolves one package's imports against the loader.
+type importerFunc struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (i *importerFunc) Import(path string) (*types.Package, error) {
+	if mapped, ok := i.importMap[path]; ok {
+		path = mapped
+	}
+	return i.l.dep(path)
+}
+
+// dep returns the dependency view (GoFiles only) of an import path,
+// loading and caching it on first use. Overlay paths shadow everything.
+func (l *Loader) dep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pure[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	if l.Overlay != "" {
+		dir := filepath.Join(l.Overlay, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			files, name, err := l.overlayFiles(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkg, err := l.check(path, name, dir, files, nil)
+			if err != nil {
+				return nil, err
+			}
+			l.pure[path] = pkg.Types
+			return pkg.Types, nil
+		}
+	}
+
+	e, ok := l.entries[path]
+	if !ok {
+		if _, err := l.goList("-deps", path); err != nil {
+			return nil, err
+		}
+		if e, ok = l.entries[path]; !ok {
+			return nil, fmt.Errorf("go list did not resolve %q", path)
+		}
+	}
+	pkg, err := l.check(e.ImportPath, e.Name, e.Dir, e.GoFiles, e.ImportMap)
+	if err != nil {
+		return nil, err
+	}
+	l.pure[path] = pkg.Types
+	return pkg.Types, nil
+}

@@ -1,0 +1,107 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one `//simlint:<verb> <args>` comment. The grammar
+// (documented in DESIGN.md "Determinism rules"):
+//
+//	//simlint:allow <analyzer> -- <reason>   suppress one finding, with an audit trail
+//	//simlint:rank-handoff                   mark the audited AMPI thread handoff
+//
+// An allow directive covers findings of the named analyzer on its own line
+// (trailing comment) or on the line immediately below (comment above the
+// offending statement). A reason after " -- " is mandatory: a bare allow is
+// itself reported, so the repository can never accumulate unexplained
+// suppressions.
+type Directive struct {
+	Pos  token.Position
+	Verb string // "allow", "rank-handoff", ...
+	Args string // raw text after the verb
+}
+
+const directivePrefix = "//simlint:"
+
+// Directives extracts every simlint directive from a file.
+func Directives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			verb, args, _ := strings.Cut(rest, " ")
+			out = append(out, Directive{
+				Pos:  fset.Position(c.Pos()),
+				Verb: verb,
+				Args: strings.TrimSpace(args),
+			})
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags through the package's allow directives.
+// Every malformed or unused allow becomes a diagnostic of its own, so the
+// driver exits non-zero on unexplained suppressions.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type allow struct {
+		d      Directive
+		name   string
+		reason string
+		used   bool
+		bad    bool
+	}
+	var allows []*allow
+	for _, f := range pkg.Syntax {
+		for _, d := range Directives(pkg.Fset, f) {
+			if d.Verb != "allow" {
+				continue
+			}
+			a := &allow{d: d}
+			head, reason, ok := strings.Cut(d.Args, "--")
+			a.name = strings.TrimSpace(head)
+			a.reason = strings.TrimSpace(reason)
+			a.bad = a.name == "" || !ok || a.reason == ""
+			allows = append(allows, a)
+		}
+	}
+
+	var out []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.bad || a.name != diag.Analyzer || a.d.Pos.Filename != diag.Pos.Filename {
+				continue
+			}
+			if a.d.Pos.Line == diag.Pos.Line || a.d.Pos.Line == diag.Pos.Line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.bad:
+			out = append(out, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.d.Pos,
+				Message:  "unexplained suppression: want //simlint:allow <analyzer> -- <reason>",
+			})
+		case !a.used:
+			out = append(out, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.d.Pos,
+				Message:  "unused //simlint:allow " + a.name + " (nothing suppressed here)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// schedVerbs are method names whose call inside a map-range body lets map
+// iteration order decide event order — the exact failure mode the paper's
+// virtual-time goldens cannot tolerate. Only methods on module-defined
+// receivers count (stdlib Send/At homonyms are not event scheduling).
+var schedVerbs = map[string]bool{
+	"Schedule":       true,
+	"At":             true,
+	"Acquire":        true,
+	"Inject":         true,
+	"Deliver":        true,
+	"Enqueue":        true,
+	"Send":           true,
+	"SyncSend":       true,
+	"SendPersistent": true,
+	"Broadcast":      true,
+	"Transfer":       true,
+}
+
+// printFuncs and writeMethods flag iteration order escaping into rendered
+// output (reports, tables, golden files).
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// MapOrder flags `range` over a map whose body schedules events, appends to
+// a slice the enclosing function returns, or writes output — the three ways
+// Go's randomized map iteration order becomes an observable, nondeterministic
+// result. Iterate a sorted key slice instead, or (for genuinely
+// order-insensitive bodies the analyzer cannot prove) add
+// `//simlint:allow maporder -- <reason>`.
+var MapOrder = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order escapes into events, returned slices, " +
+		"or output; iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *framework.Pass) error {
+	if strings.HasPrefix(rel(pass.PkgPath), "internal/analysis") {
+		return nil // host-side tooling, not simulation state
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncMapOrder(pass, fn.Body, fn.Type)
+				}
+			case *ast.FuncLit:
+				checkFuncMapOrder(pass, fn.Body, fn.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncMapOrder analyzes one function body (not descending into nested
+// function literals, which get their own visit).
+func checkFuncMapOrder(pass *framework.Pass, body *ast.BlockStmt, ftype *ast.FuncType) {
+	returned := returnedObjects(pass, body, ftype)
+	for obj := range sortedObjects(pass, body) {
+		// A slice the function fully sorts before returning is
+		// order-insensitive: collecting it from a map range is fine.
+		delete(returned, obj)
+	}
+	walkShallow(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.Types[rng.X].Type
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if why := orderEscape(pass, rng.Body, returned); why != "" {
+			pass.Reportf(rng.Pos(),
+				"map iteration order escapes (%s): iterate sorted keys instead", why)
+		}
+	})
+}
+
+// walkShallow visits the subtree but does not descend into nested function
+// literals.
+func walkShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// returnedObjects collects the objects a function body can return: named
+// result parameters plus every identifier appearing in a return statement.
+func returnedObjects(pass *framework.Pass, body *ast.BlockStmt, ftype *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	walkShallow(body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	})
+	return out
+}
+
+// sortedObjects collects every object the function passes to a sort.* /
+// slices.Sort* call anywhere in its body. Appends into such a slice from a
+// map range do not leak iteration order — the sort canonicalizes it.
+func sortedObjects(pass *framework.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	walkShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		pkg := pkgNameOf(pass, sel.X)
+		if pkg != "sort" && pkg != "slices" {
+			return
+		}
+		if !strings.HasPrefix(sel.Sel.Name, "Sort") && !sortFuncs[sel.Sel.Name] {
+			return
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	})
+	return out
+}
+
+// sortFuncs are the non-"Sort"-prefixed canonicalizers in package sort.
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}
+
+// orderEscape scans a map-range body (including deferred work in function
+// literals — closures run in scheduling order) and reports the first way
+// iteration order becomes observable, or "".
+func orderEscape(pass *framework.Pass, body *ast.BlockStmt, returned map[types.Object]bool) string {
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if w := appendToReturned(pass, n, returned); w != "" {
+				why = w
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok &&
+					(b.Name() == "print" || b.Name() == "println") {
+					why = "builtin " + b.Name()
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if pkgNameOf(pass, fun.X) == "fmt" && printFuncs[name] {
+					why = "fmt." + name
+					return false
+				}
+				recvPkg, recvType := receiverOf(pass, fun)
+				switch {
+				case writeMethods[name] && recvPkg != "":
+					why = fmt.Sprintf("%s.%s", recvType, name)
+				case name == "Add" && recvType == "Table":
+					why = "Table.Add row"
+				case schedVerbs[name] && (recvPkg == module || strings.HasPrefix(recvPkg, module+"/")):
+					why = fmt.Sprintf("event-ordering call %s.%s", recvType, name)
+				}
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// appendToReturned reports an `x = append(x, ...)` whose target the
+// enclosing function returns.
+func appendToReturned(pass *framework.Pass, as *ast.AssignStmt, returned map[types.Object]bool) string {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && returned[obj] {
+			return "append to returned slice " + id.Name
+		}
+	}
+	return ""
+}

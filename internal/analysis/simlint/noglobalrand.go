@@ -1,0 +1,67 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// randConstructors are the math/rand entry points that build an explicitly
+// seeded generator — the only sanctioned way to obtain randomness in
+// simulation code (threaded from the experiment config, e.g. Options.Seed
+// into sim.NewRNG or rand.New(rand.NewSource(seed))).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// NoGlobalRand forbids the math/rand (and math/rand/v2) package-level
+// convenience functions in simulation code: they draw from a process-global,
+// implicitly seeded source, so two runs of the same experiment diverge.
+// Constructing a seeded *rand.Rand is allowed; so are _test.go files.
+var NoGlobalRand = &framework.Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid math/rand top-level functions (global source) in simulation code; " +
+		"thread an explicitly seeded *rand.Rand or sim.RNG from the experiment config",
+	Run: runNoGlobalRand,
+}
+
+func runNoGlobalRand(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := pkgNameOf(pass, sel.X)
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok { // type or constant reference, e.g. rand.Rand
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on an instantiated generator: fine
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global-source rand.%s in simulation code: use an explicitly seeded "+
+					"*rand.Rand or sim.RNG threaded from the experiment config", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package simlint
+
+import (
+	"go/ast"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// wallClockFuncs are the package time entry points that read or depend on
+// the host's wall clock. Any of them inside simulation code couples a
+// virtual-time result to real time and silently breaks reproducibility.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock forbids wall-clock reads (time.Now, time.Since, time.Sleep,
+// timers) in simulation code. All time there is sim.Time, advanced only by
+// the event kernel; wall-clock timing belongs to the harness (internal/
+// bench, cmd/benchharness) and to _test.go files, which are exempt.
+var NoWallClock = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep and timers in simulation code; " +
+		"virtual time (sim.Time) is the only clock there",
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(pass, sel.X) == "time" && wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s in simulation code: use virtual time (sim.Time) "+
+						"threaded from the engine instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package gemini is inside the kernel boundary: all booking is legitimate
+// here. No diagnostics.
+package gemini
+
+import "charmgo/internal/sim"
+
+func Book(e *sim.Engine, g *sim.GapResource, p *sim.PEResource, n sim.NICEngine) {
+	e.Schedule(0, nil)
+	e.At(0, nil)
+	g.Acquire(0, 0)
+	g.Peek(0)
+	p.Acquire(0, 0)
+	n.Transfer(8)
+}

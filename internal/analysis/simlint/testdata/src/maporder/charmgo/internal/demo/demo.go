@@ -1,0 +1,58 @@
+// Package demo is a maporder fixture. The analyzer applies module-wide, so
+// any charmgo-rooted path works here.
+package demo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Eng is a module-defined receiver, so its Schedule counts as event
+// ordering.
+type Eng struct{}
+
+func (Eng) Schedule(d int) {}
+
+// Sched lets map order decide event order.
+func Sched(e Eng, m map[string]int) {
+	for _, v := range m { // want `map iteration order escapes \(event-ordering call Eng\.Schedule\)`
+		e.Schedule(v)
+	}
+}
+
+// Print leaks map order into rendered output.
+func Print(m map[string]int) {
+	for k, v := range m { // want `map iteration order escapes \(fmt\.Printf\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Keys returns a slice whose element order is the iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes \(append to returned slice out\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned pattern: the sort canonicalizes the order
+// before it can escape.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Copy is order-insensitive: writing into another map cannot observe the
+// iteration order.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package demo
+
+import "fmt"
+
+// Suppressed shows a well-formed allow: analyzer name, then a reason after
+// " -- ". The finding on the next line is suppressed and the allow counts
+// as used, so neither produces a diagnostic.
+func Suppressed(m map[string]int) {
+	//simlint:allow maporder -- human-facing debug dump, order irrelevant
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// UnusedAllow suppresses nothing, which is itself an error. (The trailing
+// want clause rides inside the directive comment; it only lengthens the
+// recorded reason.)
+func UnusedAllow(x int) int {
+	//simlint:allow maporder -- stale suppression; want `unused //simlint:allow maporder`
+	return x + 1
+}
+
+// BareAllow omits the mandatory reason. It neither suppresses nor passes.
+func BareAllow(m map[string]int) {
+	//simlint:allow maporder want `unexplained suppression`
+	for k, v := range m { // want `map iteration order escapes \(fmt\.Println\)`
+		fmt.Println(k, v)
+	}
+}

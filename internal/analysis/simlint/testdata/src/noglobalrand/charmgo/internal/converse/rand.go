@@ -1,0 +1,20 @@
+// Package converse is a noglobalrand fixture standing in for
+// charmgo/internal/converse.
+package converse
+
+import "math/rand"
+
+// Bad draws from the process-global, implicitly seeded source.
+func Bad() float64 {
+	n := rand.Intn(10)    // want `global-source rand\.Intn in simulation code`
+	rand.Shuffle(n, nil)  // want `global-source rand\.Shuffle in simulation code`
+	return rand.Float64() // want `global-source rand\.Float64 in simulation code`
+}
+
+// Good threads an explicitly seeded generator; constructors and methods on
+// the instance are fine.
+func Good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(r.Intn(10), func(i, j int) {})
+	return r.Float64()
+}

@@ -1,0 +1,82 @@
+// Package ampi is a nogoroutine fixture for the audited rank-handoff
+// exception: inside internal/ampi, annotated functions may own the
+// resume/yield pair, and annotated goroutines must follow the protocol.
+package ampi
+
+type rank struct {
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// newRank is not annotated, so even the handoff channels are rejected.
+func newRank() *rank {
+	return &rank{
+		resume: make(chan struct{}), // want `channel creation in simulation code`
+		yield:  make(chan struct{}), // want `channel creation in simulation code`
+	}
+}
+
+// newRankOK is the sanctioned construction site.
+//
+//simlint:rank-handoff
+func newRankOK() *rank {
+	return &rank{
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+}
+
+// start follows the full protocol: the thread blocks on resume first and
+// hands the PE back on yield. No diagnostics.
+//
+//simlint:rank-handoff
+func start(r *rank, body func()) {
+	go func() {
+		<-r.resume
+		body()
+		r.yield <- struct{}{}
+	}()
+	r.resume <- struct{}{}
+	<-r.yield
+}
+
+// unannotated spawns without the annotation: the goroutine and its channel
+// traffic are all rejected.
+func unannotated(r *rank) {
+	go func() { // want `goroutine in internal/ampi without //simlint:rank-handoff`
+		<-r.resume            // want `channel receive in simulation code`
+		r.yield <- struct{}{} // want `channel send in simulation code`
+	}()
+}
+
+// badShape is annotated but skips the initial <-resume, breaking the
+// "exactly one runnable goroutine" invariant.
+//
+//simlint:rank-handoff
+func badShape(r *rank) {
+	go func() { // want `annotated rank-handoff goroutine breaks the protocol`
+		r.yield <- struct{}{}
+	}()
+}
+
+// stmtAnnotated grants the exception to one go statement only: the
+// goroutine passes, but the function's own channel ops stay forbidden.
+func stmtAnnotated(r *rank) {
+	//simlint:rank-handoff
+	go func() {
+		<-r.resume
+		r.yield <- struct{}{}
+	}()
+	r.resume <- struct{}{} // want `channel send in simulation code`
+	<-r.yield              // want `channel receive in simulation code`
+}
+
+// otherChan is annotated, yet a channel outside the resume/yield pair is
+// still rejected.
+//
+//simlint:rank-handoff
+func otherChan(r *rank, extra chan int) {
+	extra <- 1 // want `channel send in simulation code`
+	r.resume <- struct{}{}
+	<-r.yield
+}

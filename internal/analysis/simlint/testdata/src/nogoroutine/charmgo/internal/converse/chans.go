@@ -1,0 +1,27 @@
+// Package converse is a nogoroutine fixture: ordinary simulation code,
+// where every form of goroutine and channel use is forbidden.
+package converse
+
+func Bad(done chan struct{}) {
+	ch := make(chan int) // want `channel creation in simulation code`
+	go work(ch)          // want `goroutine in simulation code`
+	ch <- 1              // want `channel send in simulation code`
+	<-ch                 // want `channel receive in simulation code`
+	close(ch)            // want `closing a channel in simulation code`
+	select {}            // want `select in simulation code`
+}
+
+func Drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want `range over channel in simulation code`
+		total += v
+	}
+	return total
+}
+
+func work(ch chan int) {}
+
+// Good runs everything on the caller's goroutine: callbacks, no channels.
+func Good(fire func(func())) {
+	fire(func() {})
+}

@@ -1,0 +1,11 @@
+// Package bench is exempt from nowallclock: the experiment harness is the
+// one place wall-clock timing belongs.
+package bench
+
+import "time"
+
+func Wall() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

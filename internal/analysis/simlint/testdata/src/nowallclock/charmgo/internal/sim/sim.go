@@ -1,0 +1,18 @@
+// Package sim is a nowallclock fixture standing in for charmgo/internal/sim.
+package sim
+
+import "time"
+
+// Bad reads the wall clock from simulation code.
+func Bad() time.Time {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in simulation code`
+	t := time.Now()              // want `wall-clock time\.Now in simulation code`
+	_ = time.Since(t)            // want `wall-clock time\.Since in simulation code`
+	_ = time.After(time.Second)  // want `wall-clock time\.After in simulation code`
+	return t
+}
+
+// Good uses only time's constants, types, and pure conversions.
+func Good(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}

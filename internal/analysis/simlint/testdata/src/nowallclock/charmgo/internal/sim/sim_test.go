@@ -1,0 +1,10 @@
+package sim
+
+import "time"
+
+// Test files may time the wall clock: no diagnostics here.
+func elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -9,6 +9,19 @@ import (
 	"strings"
 )
 
+// SortedKeys returns the keys of a string-keyed map in ascending order.
+// Ranging over a Go map is deliberately randomized per iteration, so any
+// map that reaches rendered output (layer Stats(), counter tables) must be
+// walked through this helper to keep runs bit-identical.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
