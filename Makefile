@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint check bench-smoke
+.PHONY: build test test-race vet lint check bench-smoke bench-json profile alloc-gate
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,23 @@ check: build vet lint test test-race
 bench-smoke:
 	$(GO) test -run - -bench 'BenchmarkEngineScheduleFire|BenchmarkGapResourceAcquire' -benchtime 100000x ./internal/sim/
 	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 5x .
+
+# Full benchmark suite (figure wall-clock + kernel microbenchmarks) as
+# JSON, with the recorded pre-optimization baseline alongside. The output
+# file is the tracking artifact for the allocation-discipline work.
+bench-json:
+	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR3.json
+	@cat BENCH_PR3.json
+
+# CPU and allocation profiles of the end-to-end fig9a benchmark, written
+# to /tmp. Inspect with `go tool pprof -top /tmp/charmgo_cpu.prof` (or
+# -sample_index=alloc_objects for /tmp/charmgo_mem.prof).
+profile:
+	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 100x \
+		-cpuprofile /tmp/charmgo_cpu.prof -memprofile /tmp/charmgo_mem.prof .
+	@echo "profiles written: /tmp/charmgo_cpu.prof /tmp/charmgo_mem.prof"
+
+# CI allocation gate: fail if the fig9a wall-clock benchmark's allocs/op
+# regresses more than 10% over the checked-in threshold.
+alloc-gate:
+	$(GO) run ./cmd/benchharness -allocgate .bench/fig9a_allocs_threshold

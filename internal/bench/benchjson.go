@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"charmgo/internal/sim"
+)
+
+// This file backs `benchharness -benchjson` and `-allocgate` (Makefile
+// targets bench-json and alloc-gate): a fixed benchmark suite measured via
+// testing.Benchmark, so allocation accounting comes from the runtime
+// itself rather than from parsing `go test -bench` output.
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// measure runs fn under testing.Benchmark with allocation reporting.
+func measure(name string, fn func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return BenchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: int64(r.AllocsPerOp()),
+		BytesPerOp:  int64(r.AllocedBytesPerOp()),
+	}
+}
+
+// Fig9aWallClock measures one full-axis Figure 9(a) regeneration per op:
+// the end-to-end speed benchmark of the simulation kernel (the same work
+// as the top-level BenchmarkFig9aWallClock).
+func Fig9aWallClock() BenchResult {
+	e, ok := Find("fig9a")
+	if !ok {
+		panic("bench: fig9a experiment missing")
+	}
+	opts := Options{Quick: false, Seed: 1}
+	return measure("fig9a_wallclock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Run(opts)
+		}
+	})
+}
+
+// RunBenchSuite runs the fixed figure + kernel microbenchmark suite.
+func RunBenchSuite() []BenchResult {
+	out := []BenchResult{Fig9aWallClock()}
+
+	out = append(out, measure("engine_schedule_fire", func(b *testing.B) {
+		e := sim.NewEngine()
+		var fn func()
+		//simlint:allow bookviakernel -- kernel microbenchmark measures the raw Engine schedule+fire path
+		fn = func() { e.Schedule(1, fn) }
+		//simlint:allow bookviakernel -- kernel microbenchmark measures the raw Engine schedule+fire path
+		e.Schedule(1, fn)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	}))
+
+	out = append(out, measure("gap_acquire_dense", func(b *testing.B) {
+		var now sim.Time
+		r := sim.NewGapResource(sim.Lit("x"), func() sim.Time { return now })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			//simlint:allow bookviakernel -- kernel microbenchmark measures raw GapResource booking
+			_, e := r.Acquire(now, 10)
+			now = e
+		}
+	}))
+
+	out = append(out, measure("gap_acquire_sparse", func(b *testing.B) {
+		var now sim.Time
+		r := sim.NewGapResource(sim.Lit("x"), func() sim.Time { return now })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			at := now + sim.Time(i%512)*20
+			//simlint:allow bookviakernel -- kernel microbenchmark measures raw GapResource booking
+			r.Acquire(at, 10)
+			if i%512 == 511 {
+				now += 512 * 20
+			}
+		}
+	}))
+
+	return out
+}
+
+// CheckAllocGate runs the Figure 9(a) wall-clock benchmark and returns an
+// error if its allocs/op exceeds threshold by more than 10% — the CI guard
+// against allocation regressions on the hot path. The threshold is the
+// checked-in allocs/op of the current implementation (see Makefile
+// alloc-gate), so small fluctuation passes but a structural regression
+// (a new closure or per-message allocation) fails.
+func CheckAllocGate(threshold int64) (BenchResult, error) {
+	r := Fig9aWallClock()
+	limit := threshold + threshold/10
+	if r.AllocsPerOp > limit {
+		return r, fmt.Errorf("fig9a allocs/op = %d, above gate %d (threshold %d +10%%)",
+			r.AllocsPerOp, limit, threshold)
+	}
+	return r, nil
+}

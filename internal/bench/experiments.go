@@ -265,6 +265,15 @@ func queensMachine(cores int, layer charmgo.LayerKind, tracer *trace.Recorder) *
 	})
 }
 
+// runQueens builds a queens machine, runs the workload, and recycles the
+// machine's construction slabs (closeMachine) before returning.
+func runQueens(cores int, layer charmgo.LayerKind, cfg ssse.Config) ssse.Result {
+	m := queensMachine(cores, layer, nil)
+	r := ssse.Run(m, cfg)
+	closeMachine(m)
+	return r
+}
+
 // queensChunk sizes task bundles to the paper's message counts (~15K
 // messages at threshold 6 for 17-queens).
 func queensChunk(n, threshold int) int {
@@ -292,10 +301,10 @@ func Fig11(o Options) []*stats.Table {
 	t := stats.NewTable(fmt.Sprintf("Fig 11: %d-Queens speedup (uGNI thr=%d, MPI thr=%d)", n, thrU, thrM),
 		"cores", "ugni time(s)", "ugni speedup", "mpi time(s)", "mpi speedup")
 	for _, cores := range coreCounts {
-		ru := ssse.Run(queensMachine(cores, charmgo.LayerUGNI, nil), ssse.Config{
+		ru := runQueens(cores, charmgo.LayerUGNI, ssse.Config{
 			N: n, Threshold: thrU, Seed: o.Seed, ChunkSize: queensChunk(n, thrU),
 		})
-		rm := ssse.Run(queensMachine(cores, charmgo.LayerMPI, nil), ssse.Config{
+		rm := runQueens(cores, charmgo.LayerMPI, ssse.Config{
 			N: n, Threshold: thrM, Seed: o.Seed, ChunkSize: queensChunk(n, thrM),
 		})
 		seqU := sim.Time(ru.Nodes) * ssse.DefaultPerNodeCost
@@ -334,6 +343,7 @@ func Fig12(o Options) []*stats.Table {
 		res := ssse.Run(m, ssse.Config{
 			N: n, Threshold: c.thr, Seed: o.Seed, ChunkSize: queensChunk(n, c.thr),
 		})
+		closeMachine(m)
 		t := stats.NewTable(fmt.Sprintf("Fig 12: %d-Queens thr=%d on %d cores, %s layer (total %v)",
 			n, c.thr, cores, c.layer, res.Elapsed), "profile")
 		for _, line := range strings.Split(strings.TrimRight(rec.RenderCompact(50, 36), "\n"), "\n") {
@@ -365,9 +375,11 @@ func Fig13(o Options) []*stats.Table {
 	for _, c := range cases {
 		run := func(layer charmgo.LayerKind) float64 {
 			m := queensMachine(c.cores, layer, nil)
-			return md.Run(m, md.Config{
+			r := md.Run(m, md.Config{
 				System: c.sys, Steps: steps, Warmup: warm, LB: true, Seed: o.Seed,
-			}).MsPerStep
+			})
+			closeMachine(m)
+			return r.MsPerStep
 		}
 		mpiMS := run(charmgo.LayerMPI)
 		ugniMS := run(charmgo.LayerUGNI)
@@ -399,10 +411,10 @@ func Table1(o Options) []*stats.Table {
 	t := stats.NewTable("Table I: N-Queens best times (seconds)",
 		"queens", "ugni cores", "ugni time", "mpi cores", "mpi time")
 	for _, r := range rows {
-		ru := ssse.Run(queensMachine(r.coresUGNI, charmgo.LayerUGNI, nil), ssse.Config{
+		ru := runQueens(r.coresUGNI, charmgo.LayerUGNI, ssse.Config{
 			N: r.n, Threshold: r.thrUGNI, Seed: o.Seed, ChunkSize: queensChunk(r.n, r.thrUGNI),
 		})
-		rm := ssse.Run(queensMachine(r.coresMPI, charmgo.LayerMPI, nil), ssse.Config{
+		rm := runQueens(r.coresMPI, charmgo.LayerMPI, ssse.Config{
 			N: r.n, Threshold: r.thrMPI, Seed: o.Seed, ChunkSize: queensChunk(r.n, r.thrMPI),
 		})
 		t.Add(r.n, r.coresUGNI, ru.Elapsed.Seconds(), r.coresMPI, rm.Elapsed.Seconds())
@@ -422,9 +434,11 @@ func Table2(o Options) []*stats.Table {
 	for _, cores := range coreCounts {
 		run := func(layer charmgo.LayerKind) float64 {
 			m := queensMachine(cores, layer, nil)
-			return md.Run(m, md.Config{
+			r := md.Run(m, md.Config{
 				System: md.ApoA1, Steps: steps, Warmup: warm, LB: cores >= 48, Seed: o.Seed,
-			}).MsPerStep
+			})
+			closeMachine(m)
+			return r.MsPerStep
 		}
 		t.Add(cores, run(charmgo.LayerMPI), run(charmgo.LayerUGNI))
 	}

@@ -42,7 +42,9 @@ func ExtSMP(o Options) []*stats.Table {
 		m := charmgo.NewMachine(charmgo.MachineConfig{
 			Nodes: nodes, CoresPerNode: cpn, Layer: charmgo.LayerUGNI, UGNI: cfg,
 		})
-		return md.Run(m, md.Config{System: md.DHFR, Steps: steps, Warmup: warm, LB: true, Seed: o.Seed}).MsPerStep
+		r := md.Run(m, md.Config{System: md.DHFR, Steps: steps, Warmup: warm, LB: true, Seed: o.Seed})
+		closeMachine(m)
+		return r.MsPerStep
 	}
 	app.Add(cores, runMD(&single), runMD(&smp))
 	return []*stats.Table{lat, app}
@@ -79,6 +81,7 @@ func ExtRate(o Options) []*stats.Table {
 		})
 		m.Inject(0, seed, nil, 0, 0)
 		m.Run()
+		closeMachine(m)
 		t.Add(string(layer), burst, done.Micros(), float64(burst)/done.Millis())
 	}
 	return []*stats.Table{t}
@@ -111,6 +114,7 @@ func ExtOverlap(o Options) []*stats.Table {
 		})
 		m.Inject(0, seed, nil, 0, 0)
 		m.Run()
+		closeMachine(m)
 		t.Add(string(layer), done.Micros(), done.Micros()/k)
 	}
 	return []*stats.Table{t}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"charmgo/internal/mem"
+)
+
+// TestPoolDescriptorsDrain is the pool-leak check for the descriptor free
+// lists (DESIGN.md §2.2): after an experiment drains, every pool-acquired
+// record — SMSG control payloads, RDMA post descriptors, converse
+// envelopes, CQ delivery nodes — must have been released, so the global
+// live-descriptor count returns exactly to its pre-run value. It runs under
+// the same double-run discipline as the determinism harness: a record
+// leaked only on the second pass (say, via state carried across runs)
+// would slip past a single-run check.
+func TestPoolDescriptorsDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double experiment sweep is not short")
+	}
+	if live := mem.LiveDescriptors(); live != 0 {
+		t.Fatalf("%d descriptors live before any experiment", live)
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			for pass := 1; pass <= 2; pass++ {
+				e.Run(Options{Quick: true, Seed: 1})
+				if live := mem.LiveDescriptors(); live != 0 {
+					t.Fatalf("experiment %s pass %d leaked %d pool descriptors", e.ID, pass, live)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelProbeDrains applies the same leak check to the probed AMPI
+// workload, which exercises the rank-handoff and allreduce paths the
+// figure experiments do not.
+func TestKernelProbeDrains(t *testing.T) {
+	KernelProbeRun()
+	if live := mem.LiveDescriptors(); live != 0 {
+		t.Fatalf("kernel probe run leaked %d pool descriptors", live)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"charmgo"
 	"charmgo/internal/gemini"
 	"charmgo/internal/machine/ugnimachine"
+	"charmgo/internal/mem"
 	"charmgo/internal/mpi"
 	"charmgo/internal/sim"
 	"charmgo/internal/ugni"
@@ -24,12 +25,23 @@ func newStack(nodes int) (*sim.Engine, *gemini.Network, *ugni.GNI) {
 	return eng, net, ugni.New(net)
 }
 
+// closeMachine tears a full runtime stack down after a measurement,
+// returning its construction slabs for reuse by the next data point (see
+// mem.SlabCache). Experiment loops construct one machine per point, so
+// without this the dropped slabs dominate allocated bytes and GC time.
+func closeMachine(m *charmgo.Machine) {
+	net := m.Net()
+	m.Close()
+	net.Close()
+}
+
 // PureUGNIOneWay measures one-way latency of a size-byte message between
 // core 0 of two nodes, written directly against the uGNI API: SMSG below
 // the cap, a direct pre-registered RDMA PUT above it (the benchmark reuses
 // its buffers, so no registration is on the critical path).
 func PureUGNIOneWay(size int) sim.Time {
 	eng, net, g := newStack(2)
+	defer net.Close()
 	pe0, pe1 := 0, net.P.CoresPerNode
 	p := net.P
 
@@ -89,6 +101,7 @@ func PureUGNIOneWay(size int) sim.Time {
 // unit and direction (Figure 4: FMA/BTE x Put/Get).
 func FigureFourPoint(size int, unit gemini.Unit, get bool) sim.Time {
 	_, net, _ := newStack(2)
+	defer net.Close()
 	if get {
 		_, arrive := net.Get(0, 1, size, unit, 0)
 		return arrive
@@ -97,14 +110,31 @@ func FigureFourPoint(size int, unit gemini.Unit, get bool) sim.Time {
 	return arrive
 }
 
-// mpiHost adapts a bare CPU set to mpi.Host for pure-MPI benchmarks.
+// mpiHost adapts a bare CPU set to mpi.Host for pure-MPI benchmarks. The
+// CPUs live in one slab (one allocation for the whole host).
 type mpiHost struct {
 	eng  *sim.Engine
-	cpus []*sim.PEResource
+	cpus []sim.PEResource
+}
+
+// hostPESlabs recycles the pure-MPI host's CPU slab across measurements.
+var hostPESlabs mem.SlabCache[sim.PEResource]
+
+func newMPIHost(eng *sim.Engine, n int) *mpiHost {
+	h := &mpiHost{eng: eng, cpus: hostPESlabs.Get(n)}
+	for i := range h.cpus {
+		sim.InitPEResource(&h.cpus[i], sim.Indexed("cpu", i, ""))
+	}
+	return h
+}
+
+func (h *mpiHost) close() {
+	hostPESlabs.Put(h.cpus)
+	h.cpus = nil
 }
 
 func (h *mpiHost) Eng() *sim.Engine             { return h.eng }
-func (h *mpiHost) CPU(rank int) *sim.PEResource { return h.cpus[rank] }
+func (h *mpiHost) CPU(rank int) *sim.PEResource { return &h.cpus[rank] }
 
 // PureMPIOneWay measures MPI ping-pong one-way latency. With sameBuf the
 // two ranks reuse one send/recv buffer each (uDREG hits after warmup);
@@ -116,10 +146,7 @@ func PureMPIOneWay(size int, sameBuf, intra bool) sim.Time {
 		nodes = 1
 	}
 	eng, net, g := newStack(nodes)
-	h := &mpiHost{eng: eng}
-	for i := 0; i < net.NumPEs(); i++ {
-		h.cpus = append(h.cpus, sim.NewPEResource(sim.Indexed("cpu", i, "")))
-	}
+	h := newMPIHost(eng, net.NumPEs())
 	c := mpi.New(g, h, mpi.DefaultConfig())
 	r0, r1 := 0, net.P.CoresPerNode
 	if intra {
@@ -157,6 +184,9 @@ func PureMPIOneWay(size int, sameBuf, intra bool) sim.Time {
 	})
 	c.Isend(0, r1, size, nil, buf(r0), 0)
 	eng.Run()
+	c.Close()
+	h.close()
+	net.Close()
 	return (done - start) / (2 * pingIters)
 }
 
@@ -231,6 +261,7 @@ func (b CharmPingPong) OneWay() sim.Time {
 	})
 	m.Inject(0, seed, nil, 0, 0)
 	m.Run()
+	closeMachine(m)
 	if done == 0 {
 		panic("bench: ping-pong never completed")
 	}
@@ -260,6 +291,7 @@ func Bandwidth(layer charmgo.LayerKind, size int) float64 {
 	})
 	m.Inject(0, seed, nil, 0, 0)
 	m.Run()
+	closeMachine(m)
 	bytes := float64(window) * float64(size)
 	secs := (done - start).Seconds()
 	return bytes / secs / 1e6
@@ -305,6 +337,7 @@ func OneToAll(layer charmgo.LayerKind, nodes, size int) sim.Time {
 	})
 	m.Inject(0, seedH, nil, 0, 0)
 	m.Run()
+	closeMachine(m)
 	return (done - start) / iters
 }
 
@@ -363,5 +396,6 @@ func KNeighbor(layer charmgo.LayerKind, cores, k, size int) sim.Time {
 		m.Inject(pe(r), seedH, nil, 0, 0)
 	}
 	m.Run()
+	closeMachine(m)
 	return (done - start) / iters
 }

@@ -25,12 +25,16 @@ func (m *Machine) registerBroadcastHandler() {
 			ctx.Send(child, 0, env, env.size)
 		}
 		// Then execute the user handler locally, reusing the context so the
-		// local execution is serialized after the forwards.
+		// local execution is serialized after the forwards. The local view
+		// of the message is pool-acquired and released right after the user
+		// handler returns — it never enters a scheduler queue.
 		user := ctx.proc.m.handlers[env.userHandler]
-		user(ctx, &lrts.Message{
-			Data: env.data, Size: env.size, SrcPE: env.root, DstPE: ctx.PE(),
-			Handler: env.userHandler, SentAt: msg.SentAt,
-		})
+		local := m.msgs.Get()
+		local.Data, local.Size = env.data, env.size
+		local.SrcPE, local.DstPE = env.root, ctx.PE()
+		local.Handler, local.SentAt = env.userHandler, msg.SentAt
+		user(ctx, local)
+		m.msgs.Put(local)
 	})
 }
 

@@ -59,10 +59,10 @@ func (c *Ctx) Send(dst, handler int, data any, size int) {
 func (c *Ctx) SendPrio(dst, handler int, data any, size, priority int) {
 	m := c.proc.m
 	m.sent++
-	msg := &lrts.Message{
-		Data: data, Size: size, SrcPE: c.PE(), DstPE: dst,
-		Handler: handler, SentAt: c.now, Priority: priority,
-	}
+	msg := m.msgs.Get()
+	msg.Data, msg.Size = data, size
+	msg.SrcPE, msg.DstPE = c.PE(), dst
+	msg.Handler, msg.SentAt, msg.Priority = handler, c.now, priority
 	if dst == c.PE() {
 		c.Charge(m.opts.SelfSendCost)
 		m.Deliver(dst, msg, c.now)
@@ -80,9 +80,9 @@ func (c *Ctx) CreatePersistent(dst, maxBytes int) (lrts.PersistentHandle, error)
 func (c *Ctx) SendPersistent(h lrts.PersistentHandle, dst, handler int, data any, size int) error {
 	m := c.proc.m
 	m.sent++
-	msg := &lrts.Message{
-		Data: data, Size: size, SrcPE: c.PE(), DstPE: dst,
-		Handler: handler, SentAt: c.now,
-	}
+	msg := m.msgs.Get()
+	msg.Data, msg.Size = data, size
+	msg.SrcPE, msg.DstPE = c.PE(), dst
+	msg.Handler, msg.SentAt = handler, c.now
 	return m.layer.SendPersistent(c, h, msg)
 }

@@ -9,6 +9,7 @@ package converse
 import (
 	"charmgo/internal/gemini"
 	"charmgo/internal/lrts"
+	"charmgo/internal/mem"
 	"charmgo/internal/sim"
 	"charmgo/internal/trace"
 )
@@ -44,8 +45,17 @@ type Machine struct {
 	layer lrts.Layer
 	opts  Options
 
-	procs    []*Proc
+	procs    []Proc             // slab: one allocation for all schedulers
+	cpus     []sim.PEResource   // slab: one allocation for all PE CPUs
 	handlers []HandlerFn
+
+	// msgs pools lrts.Message envelopes: acquired by every send path
+	// (Ctx.SendPrio, SendPersistent, Inject, broadcast fan-out), released
+	// by the scheduler after handler execution — the converse analog of
+	// the paper's CmiAlloc/CmiFree over the §V.B pool. delivery pools the
+	// Deliver→scheduler handoff records. See DESIGN.md §2.2.
+	msgs     mem.FreeList[lrts.Message]
+	delivery mem.FreeList[deliverNode]
 
 	// Quiescence accounting (valid inside a single-process DES; DESIGN.md §5).
 	sent      uint64
@@ -59,17 +69,40 @@ func NewMachine(eng *sim.Engine, net *gemini.Network, layer lrts.Layer, opts Opt
 	m := &Machine{eng: eng, net: net, layer: layer, opts: opts}
 	n := net.NumPEs()
 	probe := eng.Probe()
-	m.procs = make([]*Proc, n)
+	m.procs = procSlabs.Get(n)
+	m.cpus = peSlabs.Get(n)
 	for pe := 0; pe < n; pe++ {
-		cpu := sim.NewPEResource(sim.Indexed("pe", pe, ".cpu"))
+		cpu := &m.cpus[pe]
+		sim.InitPEResource(cpu, sim.Indexed("pe", pe, ".cpu"))
 		if probe != nil {
 			cpu.SetProbe(probe)
 		}
-		m.procs[pe] = &Proc{m: m, pe: pe, cpu: cpu}
+		m.procs[pe] = Proc{m: m, pe: pe, cpu: cpu}
 	}
 	m.registerBroadcastHandler()
 	layer.Start(m)
 	return m
+}
+
+// procSlabs and peSlabs recycle the per-PE scheduler and CPU-resource
+// slabs across machines (see mem.SlabCache).
+var (
+	procSlabs mem.SlabCache[Proc]
+	peSlabs   mem.SlabCache[sim.PEResource]
+)
+
+// Close releases the machine's construction slabs — and, via the layer's
+// Close when it has one, the layer's — for reuse by a later NewMachine.
+// The machine and its whole stack (layer, GNI, network, engine) must not
+// be used afterwards. The network is not closed here: it is constructed by
+// the caller and may outlive the machine.
+func (m *Machine) Close() {
+	procSlabs.Put(m.procs)
+	peSlabs.Put(m.cpus)
+	m.procs, m.cpus = nil, nil
+	if c, ok := m.layer.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Eng implements lrts.Host.
@@ -87,17 +120,34 @@ func (m *Machine) Net() *gemini.Network { return m.net }
 // Layer exposes the machine layer (for experiment stats).
 func (m *Machine) Layer() lrts.Layer { return m.layer }
 
+// deliverNode is one in-flight Deliver→scheduler handoff, pooled on the
+// machine so delivery schedules closure-free (Engine.AtArg).
+type deliverNode struct {
+	p   *Proc
+	msg *lrts.Message
+	at  sim.Time
+}
+
+// fireDeliver enqueues the delivered message on its scheduler.
+func fireDeliver(arg any) {
+	n := arg.(*deliverNode)
+	p, msg, at := n.p, n.msg, n.at
+	p.m.delivery.Put(n)
+	p.q.push(queued{msg: msg, seq: p.seq})
+	p.seq++
+	p.kick(at)
+}
+
 // Deliver implements lrts.Host: enqueue msg on pe's scheduler at time at.
 func (m *Machine) Deliver(pe int, msg *lrts.Message, at sim.Time) {
-	p := m.procs[pe]
 	if at < m.eng.Now() {
 		at = m.eng.Now()
 	}
-	m.eng.At(at, func() {
-		p.q.push(queued{msg: msg, seq: p.seq})
-		p.seq++
-		p.kick(at)
-	})
+	n := m.delivery.Get()
+	n.p = &m.procs[pe]
+	n.msg = msg
+	n.at = at
+	m.eng.AtArg(at, fireDeliver, n)
 }
 
 // NoteOverhead implements lrts.Host.
@@ -120,9 +170,11 @@ func (m *Machine) RegisterHandler(fn HandlerFn) int {
 // startup). It counts as a sent message for quiescence purposes.
 func (m *Machine) Inject(pe, handler int, data any, size int, at sim.Time) {
 	m.sent++
-	m.Deliver(pe, &lrts.Message{
-		Data: data, Size: size, SrcPE: pe, DstPE: pe, Handler: handler, SentAt: at,
-	}, at)
+	msg := m.msgs.Get()
+	msg.Data, msg.Size = data, size
+	msg.SrcPE, msg.DstPE = pe, pe
+	msg.Handler, msg.SentAt = handler, at
+	m.Deliver(pe, msg, at)
 }
 
 // Run drives the engine until no events remain and returns the final time.
@@ -153,7 +205,7 @@ type ProcStats struct {
 
 // ProcStats returns the accounting for one PE.
 func (m *Machine) ProcStats(pe int) ProcStats {
-	p := m.procs[pe]
+	p := &m.procs[pe]
 	return ProcStats{Processed: p.processed, BusyApp: p.busyApp, BusyOvh: p.busyOvh}
 }
 
@@ -170,6 +222,12 @@ type Proc struct {
 	seq uint64
 
 	dispatchAt *sim.Event // pending dispatch event, nil if none
+
+	// ctx is the per-dispatch handler context, embedded so each handler
+	// execution reuses this record instead of allocating one. Safe because
+	// dispatch is not reentrant: a handler that hands off (AMPI) returns
+	// the token before the next dispatch on this PE runs.
+	ctx Ctx
 
 	processed uint64
 	busyApp   sim.Time
@@ -249,8 +307,11 @@ func (p *Proc) kick(at sim.Time) {
 	if f := p.cpu.FreeAt(); f > t {
 		t = f
 	}
-	p.dispatchAt = p.m.eng.At(t, p.dispatch)
+	p.dispatchAt = p.m.eng.AtArg(t, fireDispatch, p)
 }
+
+// fireDispatch is the closure-free engine callback for scheduler dispatch.
+func fireDispatch(arg any) { arg.(*Proc).dispatch() }
 
 func (p *Proc) dispatch() {
 	p.dispatchAt = nil
@@ -265,15 +326,19 @@ func (p *Proc) dispatch() {
 	}
 	msg := p.q.pop().msg
 
-	ctx := &Ctx{proc: p, now: now}
+	p.ctx = Ctx{proc: p, now: now}
+	ctx := &p.ctx
 	ctx.Charge(p.m.opts.SchedCost)
 	fn := p.m.handlers[msg.Handler]
 	fn(ctx, msg)
-	if msg.Release != nil {
+	if rb := msg.ReleaseBy; rb != nil {
 		// Return the receive buffer to the machine layer's pool (CmiFree).
-		ctx.Charge(msg.Release())
-		msg.Release = nil
+		ctx.Charge(rb.ReleaseBuf(msg.ReleasePE, msg.ReleaseCap, msg.ReleaseRegistered))
+		msg.ReleaseBy = nil
 	}
+	// The envelope's delivery is complete: recycle it. Handlers consume
+	// msg.Data and must not retain the envelope itself.
+	p.m.msgs.Put(msg)
 	end := ctx.now
 	p.cpu.Acquire(now, end-now)
 

@@ -46,6 +46,12 @@ func (u *unitEngine) Enqueue(at sim.Time, fn func()) {
 	u.net.Eng.At(at, fn)
 }
 
+// EnqueueArg schedules a closure-free completion callback on the machine's
+// event loop (see sim.Engine.AtArg).
+func (u *unitEngine) EnqueueArg(at sim.Time, fn func(any), arg any) {
+	u.net.Eng.AtArg(at, fn, arg)
+}
+
 // Transfer books a data movement of size bytes from this engine's node to
 // dstNode, ready to start no earlier than `ready`. It books the engine
 // and every directional link on the dimension-ordered path (wormhole
@@ -113,8 +119,11 @@ func (u *unitEngine) Get(target, size int, ready sim.Time) (reqDone, dataArrive 
 // booking each directional link in its earliest gap (wormhole-style: the
 // head waits where a link is busy, serialization overlaps across hops).
 // It returns the arrival time of the last byte in destination memory.
+// The path comes from the per-(src, dst) route cache: dense link indices
+// computed once per pair, so steady-state booking neither re-enumerates
+// the path nor allocates.
 func (n *Network) bookPath(srcNode, dstNode, size int, serUnit, launch sim.Time) sim.Time {
-	n.pathBuf = n.Topo.AppendPath(n.pathBuf[:0], srcNode, dstNode)
+	path := n.route(srcNode, dstNode)
 	serLink := sim.DurationOf(size, n.P.LinkBW)
 	ser := serUnit
 	if serLink > ser {
@@ -122,8 +131,8 @@ func (n *Network) bookPath(srcNode, dstNode, size int, serUnit, launch sim.Time)
 	}
 	t := launch
 	lastStart := launch
-	for _, l := range n.pathBuf {
-		s, _ := n.links[n.Topo.LinkIndex(l)].Acquire(t, serLink)
+	for _, li := range path {
+		s, _ := n.links[li].Acquire(t, serLink)
 		lastStart = s
 		t = s + n.P.HopLatency
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"charmgo/internal/mem"
 	"charmgo/internal/sim"
 	"charmgo/internal/topology"
 )
@@ -17,15 +18,34 @@ import (
 // here are thin delegations kept for callers that address engines by
 // (node, Unit).
 type Network struct {
-	Eng   *sim.Engine
-	Topo  topology.Torus
-	P     Params
-	nodes []*Node
-	links []*sim.GapResource
+	Eng  *sim.Engine
+	Topo topology.Torus
+	P    Params
 
-	// pathBuf is scratch for dimension-ordered path enumeration, reused
-	// across bookings (the whole machine runs on one goroutine).
-	pathBuf []topology.Link
+	// tab is the shared precomputed node→coordinate table; NodeOf,
+	// pathLatency, and route construction all read it instead of
+	// re-deriving coordinates with div/mod per call.
+	tab *topology.Table
+
+	// Slab-allocated state: one backing array each for nodes, NIC gap
+	// resources (FMA+BTE interleaved), engine views (4 per node), and
+	// torus links, instead of one heap object per resource.
+	nodes   []Node
+	nicRes  []sim.GapResource // 2 per node: [2i]=FMA, [2i+1]=BTE
+	engines []unitEngine      // 4 per node, indexed by 4*node+Unit
+	links   []sim.GapResource
+
+	// peNode caches NodeOf (pe → node) so the hot mapping is one slice
+	// load, not a division.
+	peNode []int32
+
+	// routes caches dimension-ordered paths as dense link indices:
+	// routes[src][dst] is built on first booking of the (src, dst) pair
+	// and replayed for every later message — the simulator's analog of
+	// the paper's registration cache. Outer and inner levels populate
+	// lazily; nil means "not yet computed" (src == dst never books a
+	// path, so a cached route is always non-empty).
+	routes [][][]topology.LinkID
 
 	// Statistics.
 	transfers uint64
@@ -52,19 +72,28 @@ func NewNetwork(eng *sim.Engine, nodes int, p Params) *Network {
 	}
 	topo := topology.Shape(nodes)
 	n := &Network{
-		Eng:   eng,
-		Topo:  topo,
-		P:     p,
-		nodes: make([]*Node, nodes),
-		links: make([]*sim.GapResource, topo.NumLinks()),
+		Eng:     eng,
+		Topo:    topo,
+		P:       p,
+		tab:     topology.NewTable(topo),
+		nodes:   nodeSlabs.Get(nodes),
+		nicRes:  gapSlabs.Get(2 * nodes),
+		engines: engineSlabs.Get(4 * nodes),
+		links:   gapSlabs.Get(topo.NumLinks()),
+		peNode:  peNodeSlabs.Get(nodes * p.CoresPerNode),
+		routes:  routeSlabs.Get(nodes),
 	}
 	clock := eng.Now
 	probe := eng.Probe()
 	for i := range n.nodes {
-		fma := sim.NewGapResource(sim.Indexed("node", i, ".fma"), clock)
-		bte := sim.NewGapResource(sim.Indexed("node", i, ".bte"), clock)
-		nd := &Node{ID: i, FMA: fma, BTE: bte}
-		engs := make([]unitEngine, 4)
+		fma := &n.nicRes[2*i]
+		bte := &n.nicRes[2*i+1]
+		sim.InitGapResource(fma, sim.Indexed("node", i, ".fma"), clock)
+		sim.InitGapResource(bte, sim.Indexed("node", i, ".bte"), clock)
+		nd := &n.nodes[i]
+		nd.ID = i
+		nd.FMA = fma
+		nd.BTE = bte
 		for u := UnitFMA; u <= UnitMSGQ; u++ {
 			overhead, bw := p.unitCosts(u)
 			res := fma
@@ -75,7 +104,8 @@ func NewNetwork(eng *sim.Engine, nodes int, p Params) *Network {
 			if u == UnitMSGQ {
 				extra = p.MSGQExtraOverhead
 			}
-			engs[u] = unitEngine{
+			e := &n.engines[4*i+int(u)]
+			*e = unitEngine{
 				net:      n,
 				name:     sim.Indexed("node", i, unitSuffix[u]),
 				node:     i,
@@ -84,17 +114,43 @@ func NewNetwork(eng *sim.Engine, nodes int, p Params) *Network {
 				bw:       bw,
 				extra:    extra,
 			}
-			nd.engines[u] = &engs[u]
+			nd.engines[u] = e
 		}
-		n.nodes[i] = nd
 	}
 	for i := range n.links {
-		n.links[i] = sim.NewGapResource(sim.Indexed("link", i, ""), clock)
+		sim.InitGapResource(&n.links[i], sim.Indexed("link", i, ""), clock)
+	}
+	for pe := range n.peNode {
+		n.peNode[pe] = int32(pe / p.CoresPerNode)
 	}
 	if probe != nil {
 		n.SetProbe(probe)
 	}
 	return n
+}
+
+// Construction slab caches, recycled across networks (see mem.SlabCache).
+// nicRes and links share one cache: both are GapResource slabs and the
+// sizes interleave well across machine shapes.
+var (
+	nodeSlabs   mem.SlabCache[Node]
+	gapSlabs    mem.SlabCache[sim.GapResource]
+	engineSlabs mem.SlabCache[unitEngine]
+	peNodeSlabs mem.SlabCache[int32]
+	routeSlabs  mem.SlabCache[[][]topology.LinkID]
+)
+
+// Close releases the network's construction slabs for reuse by a later
+// NewNetwork. The network and everything built on it (GNI, machine
+// layers) must not be used afterwards.
+func (n *Network) Close() {
+	nodeSlabs.Put(n.nodes)
+	gapSlabs.Put(n.nicRes)
+	gapSlabs.Put(n.links)
+	engineSlabs.Put(n.engines)
+	peNodeSlabs.Put(n.peNode)
+	routeSlabs.Put(n.routes)
+	n.nodes, n.nicRes, n.links, n.engines, n.peNode, n.routes = nil, nil, nil, nil, nil, nil
 }
 
 // unitSuffix names each engine view for diagnostics.
@@ -104,12 +160,11 @@ var unitSuffix = [4]string{UnitFMA: ".fma-eng", UnitBTE: ".bte-eng", UnitSMSG: "
 // probe observes all network bookings. It is called automatically at
 // construction when the sim engine already carries a probe.
 func (n *Network) SetProbe(p sim.Probe) {
-	for _, nd := range n.nodes {
-		nd.FMA.SetProbe(p)
-		nd.BTE.SetProbe(p)
+	for i := range n.nicRes {
+		n.nicRes[i].SetProbe(p)
 	}
-	for _, l := range n.links {
-		l.SetProbe(p)
+	for i := range n.links {
+		n.links[i].SetProbe(p)
 	}
 }
 
@@ -124,21 +179,21 @@ func (n *Network) engine(node int, u Unit) *unitEngine { return n.nodes[node].en
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
 // NumPEs reports nodes*coresPerNode.
-func (n *Network) NumPEs() int { return len(n.nodes) * n.P.CoresPerNode }
+func (n *Network) NumPEs() int { return len(n.peNode) }
 
-// NodeOf maps a PE to its node.
+// NodeOf maps a PE to its node via the precomputed table.
 func (n *Network) NodeOf(pe int) int {
-	if pe < 0 || pe >= n.NumPEs() {
-		panic(fmt.Sprintf("gemini: PE %d out of range [0,%d)", pe, n.NumPEs()))
+	if pe < 0 || pe >= len(n.peNode) {
+		panic(fmt.Sprintf("gemini: PE %d out of range [0,%d)", pe, len(n.peNode)))
 	}
-	return pe / n.P.CoresPerNode
+	return int(n.peNode[pe])
 }
 
 // CoreOf maps a PE to its core index within the node.
 func (n *Network) CoreOf(pe int) int { return pe % n.P.CoresPerNode }
 
 // Node returns the node structure.
-func (n *Network) Node(id int) *Node { return n.nodes[id] }
+func (n *Network) Node(id int) *Node { return &n.nodes[id] }
 
 // SameNode reports whether two PEs share a node.
 func (n *Network) SameNode(a, b int) bool { return n.NodeOf(a) == n.NodeOf(b) }
@@ -146,13 +201,32 @@ func (n *Network) SameNode(a, b int) bool { return n.NodeOf(a) == n.NodeOf(b) }
 // Stats reports transfer counters.
 func (n *Network) Stats() (transfers uint64, bytes int64) { return n.transfers, n.bytes }
 
+// route returns the cached dimension-ordered path from srcNode to dstNode
+// as dense link indices, computing and caching it on first use. Cached
+// routes are immutable once built, and the path for a pair does not depend
+// on when (or whether) other pairs were cached, so lazy population cannot
+// perturb determinism.
+func (n *Network) route(srcNode, dstNode int) []topology.LinkID {
+	row := n.routes[srcNode]
+	if row == nil {
+		row = make([][]topology.LinkID, len(n.nodes))
+		n.routes[srcNode] = row
+	}
+	path := row[dstNode]
+	if path == nil && srcNode != dstNode {
+		path = n.tab.AppendLinkIDs(make([]topology.LinkID, 0, n.tab.Hops(srcNode, dstNode)), srcNode, dstNode)
+		row[dstNode] = path
+	}
+	return path
+}
+
 // pathLatency is the pure flight latency between two nodes (no
 // serialization): injection/ejection plus per-hop router latency.
 func (n *Network) pathLatency(a, b int) sim.Time {
 	if a == b {
 		return n.P.LoopbackLatency
 	}
-	return n.P.InjectionLatency + sim.Time(n.Topo.Hops(a, b))*n.P.HopLatency
+	return n.P.InjectionLatency + sim.Time(n.tab.Hops(a, b))*n.P.HopLatency
 }
 
 // ControlLatency reports the one-way flight time of a small control packet
@@ -175,11 +249,13 @@ func (n *Network) Get(requester, target, size int, u Unit, ready sim.Time) (reqD
 // BusiestResources reports the k busiest NIC engines and links (diagnostic
 // aid: "name busy=<total> freeAt=<t> acquires=<n>").
 func (n *Network) BusiestResources(k int) []string {
-	all := make([]*sim.GapResource, 0, len(n.links)+2*len(n.nodes))
-	for _, nd := range n.nodes {
-		all = append(all, nd.FMA, nd.BTE)
+	all := make([]*sim.GapResource, 0, len(n.links)+len(n.nicRes))
+	for i := range n.nicRes {
+		all = append(all, &n.nicRes[i])
 	}
-	all = append(all, n.links...)
+	for i := range n.links {
+		all = append(all, &n.links[i])
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].BusyTotal() > all[j].BusyTotal() })
 	if k > len(all) {
 		k = len(all)

@@ -262,3 +262,32 @@ func TestBusiestResourcesReports(t *testing.T) {
 		t.Fatal("empty top resource")
 	}
 }
+
+func TestPEMappingNonCubicTori(t *testing.T) {
+	// 24 nodes shapes to 4x3x2 and 30 to 5x3x2: every dimension differs,
+	// so a stride mix-up in the shared coordinate table would break the
+	// pe -> (node, core) round trip or the node coordinate mapping.
+	for _, nodes := range []int{24, 30} {
+		n := newNet(nodes)
+		if n.NumNodes() != nodes {
+			t.Fatalf("%d nodes: NumNodes = %d", nodes, n.NumNodes())
+		}
+		cpn := n.P.CoresPerNode
+		for pe := 0; pe < n.NumPEs(); pe++ {
+			node, core := n.NodeOf(pe), n.CoreOf(pe)
+			if node != pe/cpn || core != pe%cpn {
+				t.Fatalf("%d nodes: pe %d -> (%d, %d), want (%d, %d)",
+					nodes, pe, node, core, pe/cpn, pe%cpn)
+			}
+			if back := node*cpn + core; back != pe {
+				t.Fatalf("%d nodes: round trip pe %d -> %d", nodes, pe, back)
+			}
+		}
+		for id := 0; id < n.NumNodes(); id++ {
+			x, y, z := n.Topo.Coords(id)
+			if got := n.Topo.Node(x, y, z); got != id {
+				t.Fatalf("%d nodes: Node(Coords(%d)) = %d", nodes, id, got)
+			}
+		}
+	}
+}

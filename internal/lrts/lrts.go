@@ -27,10 +27,24 @@ type Message struct {
 	// affect network transit, only queueing.
 	Priority int
 
-	// Release, when set by a machine layer, returns the message's receive
-	// buffer to its pool (CmiFree). The scheduler invokes it once after
-	// handler execution and charges the returned cost as overhead.
-	Release func() sim.Time
+	// ReleaseBy, when set by a machine layer, names who frees the message's
+	// receive buffer after handler execution (CmiFree). The scheduler calls
+	// ReleaseBy.ReleaseBuf(ReleasePE, ReleaseCap, ReleaseRegistered) once
+	// and charges the returned cost as overhead. The interface+fields form
+	// replaces a per-message `func() sim.Time` closure: layers implement
+	// BufReleaser once, so attaching release information to a message
+	// allocates nothing.
+	ReleaseBy         BufReleaser
+	ReleasePE         int
+	ReleaseCap        int  // buffer capacity as reported by the layer's allocator
+	ReleaseRegistered bool // buffer was registered memory (deregister on free)
+}
+
+// BufReleaser frees a receive buffer previously attached to a Message via
+// ReleaseBy/ReleasePE/ReleaseCap/ReleaseRegistered, returning the host CPU
+// cost of the free.
+type BufReleaser interface {
+	ReleaseBuf(pe, capacity int, registered bool) sim.Time
 }
 
 // Host is what a machine layer may ask of the runtime: the event engine,

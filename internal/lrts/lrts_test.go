@@ -17,22 +17,35 @@ func TestErrUnsupportedIsComparable(t *testing.T) {
 	}
 }
 
+// releaseRecorder is a test BufReleaser capturing the call it receives.
+type releaseRecorder struct {
+	calls      int
+	pe, cap    int
+	registered bool
+}
+
+func (r *releaseRecorder) ReleaseBuf(pe, capacity int, registered bool) sim.Time {
+	r.calls++
+	r.pe, r.cap, r.registered = pe, capacity, registered
+	return 42
+}
+
 func TestMessageReleaseContract(t *testing.T) {
-	released := 0
+	rec := &releaseRecorder{}
 	msg := &Message{
 		Data: "x", Size: 128, SrcPE: 1, DstPE: 2, Handler: 3,
-		Release: func() sim.Time { released++; return 42 },
+		ReleaseBy: rec, ReleasePE: 2, ReleaseCap: 256, ReleaseRegistered: true,
 	}
-	if cost := msg.Release(); cost != 42 {
-		t.Fatalf("Release cost = %v", cost)
+	if cost := msg.ReleaseBy.ReleaseBuf(msg.ReleasePE, msg.ReleaseCap, msg.ReleaseRegistered); cost != 42 {
+		t.Fatalf("ReleaseBuf cost = %v", cost)
 	}
-	if released != 1 {
-		t.Fatal("Release did not run")
+	if rec.calls != 1 || rec.pe != 2 || rec.cap != 256 || !rec.registered {
+		t.Fatalf("ReleaseBuf saw %+v", rec)
 	}
-	// The scheduler nils Release after invoking it; the zero value must be
+	// The scheduler nils ReleaseBy after invoking it; the zero value must be
 	// safe for messages without buffers.
 	plain := &Message{}
-	if plain.Release != nil {
-		t.Fatal("zero-value message has a Release hook")
+	if plain.ReleaseBy != nil {
+		t.Fatal("zero-value message has a release hook")
 	}
 }

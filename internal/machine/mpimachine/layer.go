@@ -44,14 +44,21 @@ type Layer struct {
 	// progress loop (receive one message, deliver it, then probe again).
 	queues  [][]*mpi.Envelope
 	pumping []bool
+	pumps   []pumpState // slab: closure-free pump scheduling args
 
 	nextBuf int64
-	stats   map[string]int64
+	sends   int64 // SyncSend count (plain field: hot path)
+}
+
+// pumpState is the per-PE argument for the closure-free pump event.
+type pumpState struct {
+	l  *Layer
+	pe int
 }
 
 // New builds the layer; converse.NewMachine calls Start.
 func New(g *ugni.GNI, cfg Config) *Layer {
-	return &Layer{gni: g, cfg: cfg, stats: make(map[string]int64)}
+	return &Layer{gni: g, cfg: cfg}
 }
 
 // Name implements lrts.Layer.
@@ -59,9 +66,9 @@ func (l *Layer) Name() string { return "mpi" }
 
 // Stats implements lrts.Layer.
 func (l *Layer) Stats() map[string]int64 {
-	out := make(map[string]int64, len(l.stats)+4)
-	for k, v := range l.stats {
-		out[k] = v
+	out := make(map[string]int64, 8)
+	if l.sends != 0 {
+		out["sends"] = l.sends
 	}
 	for k, v := range l.comm.Stats() {
 		out["mpi_"+k] = v
@@ -73,14 +80,28 @@ func (l *Layer) Stats() map[string]int64 {
 func (l *Layer) Start(h lrts.Host) {
 	l.host = h
 	l.comm = mpi.New(l.gni, h, l.cfg.MPI)
-	l.queues = make([][]*mpi.Envelope, h.NumPEs())
-	l.pumping = make([]bool, h.NumPEs())
-	for pe := 0; pe < h.NumPEs(); pe++ {
-		pe := pe
-		l.comm.OnArrival(pe, func(env *mpi.Envelope) {
-			l.queues[pe] = append(l.queues[pe], env)
-			l.pump(pe)
-		})
+	n := h.NumPEs()
+	l.queues = make([][]*mpi.Envelope, n)
+	l.pumping = make([]bool, n)
+	l.pumps = make([]pumpState, n)
+	// One shared arrival hook for every rank: the envelope carries its
+	// destination, so no per-PE closures are needed.
+	onArr := func(env *mpi.Envelope) {
+		pe := env.Dst
+		l.queues[pe] = append(l.queues[pe], env)
+		l.pump(pe)
+	}
+	for pe := 0; pe < n; pe++ {
+		l.pumps[pe] = pumpState{l: l, pe: pe}
+		l.comm.OnArrival(pe, onArr)
+	}
+}
+
+// Close releases the communicator's construction slabs for reuse (see
+// mem.SlabCache). The layer and its stack must not be used afterwards.
+func (l *Layer) Close() {
+	if l.comm != nil {
+		l.comm.Close()
 	}
 }
 
@@ -93,7 +114,7 @@ func (l *Layer) freshBuf() mpi.BufID {
 
 // SyncSend implements LrtsSyncSend via MPI_Isend.
 func (l *Layer) SyncSend(ctx lrts.SendContext, msg *lrts.Message) {
-	l.stats["sends"]++
+	l.sends++
 	cpu := l.comm.Isend(msg.SrcPE, msg.DstPE, msg.Size, msg, l.freshBuf(), ctx.Now())
 	ctx.Charge(cpu)
 }
@@ -113,21 +134,26 @@ func (l *Layer) pump(pe int) {
 	}
 	// One-nanosecond yield: a message delivered at exactly t must win the
 	// CPU (its dispatch event is already queued) before the next probe.
-	eng.At(t+1, func() {
-		l.pumping[pe] = false
-		now := eng.Now()
-		if f := l.host.CPU(pe).FreeAt(); f > now {
-			// A handler (or another booking) took the CPU meanwhile.
-			l.pump(pe)
-			return
-		}
-		q := l.queues[pe]
-		env := q[0]
-		copy(q, q[1:])
-		l.queues[pe] = q[:len(q)-1]
-		l.receiveOne(pe, env, now)
+	eng.AtArg(t+1, firePump, &l.pumps[pe])
+}
+
+// firePump runs one scheduled progress-engine step (closure-free pump).
+func firePump(arg any) {
+	ps := arg.(*pumpState)
+	l, pe := ps.l, ps.pe
+	l.pumping[pe] = false
+	now := l.host.Eng().Now()
+	if f := l.host.CPU(pe).FreeAt(); f > now {
+		// A handler (or another booking) took the CPU meanwhile.
 		l.pump(pe)
-	})
+		return
+	}
+	q := l.queues[pe]
+	env := q[0]
+	copy(q, q[1:])
+	l.queues[pe] = q[:len(q)-1]
+	l.receiveOne(pe, env, now)
+	l.pump(pe)
 }
 
 // receiveOne is one progress-engine iteration: probe, allocate a landing
@@ -143,14 +169,21 @@ func (l *Layer) receiveOne(pe int, env *mpi.Envelope, at sim.Time) {
 	}
 	pre := l.comm.ProbeCost()*probeScale + m.Malloc(env.Size)
 	s, e := l.host.CPU(pe).Acquire(at, pre)
-	done := l.comm.Recv(env, l.freshBuf(), e)
-	l.host.NoteOverhead(pe, s, done)
+	// Recv recycles the envelope, so extract the payload first.
 	msg, ok := env.Payload.(*lrts.Message)
 	if !ok {
 		panic(fmt.Sprintf("mpimachine: foreign payload %T", env.Payload))
 	}
-	msg.Release = func() sim.Time { return m.Free() }
+	done := l.comm.Recv(env, l.freshBuf(), e)
+	l.host.NoteOverhead(pe, s, done)
+	msg.ReleaseBy = l
 	l.host.Deliver(pe, msg, done)
+}
+
+// ReleaseBuf implements lrts.BufReleaser: the MPI baseline mallocs a fresh
+// landing buffer per message (no pool), so release is a plain free.
+func (l *Layer) ReleaseBuf(pe, capacity int, registered bool) sim.Time {
+	return l.gni.Net.P.Mem.Free()
 }
 
 // CreatePersistent implements lrts.Layer: unsupported on the MPI baseline

@@ -116,20 +116,24 @@ const (
 	tagCTS                  // clear-to-send (PUT-based rendezvous ablation)
 )
 
-// rdmaInit is the INIT_TAG control payload of Figure 5.
+// rdmaInit is the INIT_TAG control payload of Figure 5. Pool-acquired by
+// the sender, released by the receiver once its fields move into the GET's
+// rdmaRecvState (or into the CTS of the PUT ablation).
 type rdmaInit struct {
 	id   uint64
 	msg  *lrts.Message
 	size int
 }
 
-// rdmaAck is the ACK_TAG control payload.
+// rdmaAck is the ACK_TAG control payload. Pool-acquired by the receiver,
+// released by the sender's tagAck handler.
 type rdmaAck struct {
 	id uint64
 }
 
 // pendingSend is sender-side rendezvous state awaiting the ACK (GET
-// scheme) or the CTS (PUT scheme).
+// scheme) or the CTS (PUT scheme). Pool-acquired at sendLarge, released
+// when it leaves the pending map.
 type pendingSend struct {
 	bufCap int // pool capacity or registered size
 	msg    *lrts.Message
@@ -174,17 +178,35 @@ type Layer struct {
 	host lrts.Host
 
 	smsgMax int
-	pools   []*mem.Pool
+	pools   []mem.Pool // slab: per-PE registered pools (UseMempool)
 	rxCQ    []*ugni.CQ
 	rdmaCQ  []*ugni.CQ
-	commCPU []*sim.PEResource // per-node comm thread (SMP mode)
-	loop    *shm.Loopback     // pxshm intra-node engine (sim.NICEngine)
+	cqSlab  []ugni.CQ        // backing array for rxCQ+rdmaCQ
+	commCPU []sim.PEResource // per-node comm thread (SMP mode), slab
+	loop    *shm.Loopback    // pxshm intra-node engine (sim.NICEngine)
 
 	pending  map[uint64]*pendingSend
 	nextID   uint64
 	channels []*persistChannel
 
-	stats map[string]int64
+	// Protocol-descriptor pools (see DESIGN.md §2.2): every record that
+	// lives exactly one protocol round-trip is acquired here and released
+	// at its documented completion point.
+	inits   mem.FreeList[rdmaInit]
+	acks    mem.FreeList[rdmaAck]
+	recvs   mem.FreeList[rdmaRecvState]
+	sends   mem.FreeList[pendingSend]
+	intras  mem.FreeList[intraState]
+	pstates mem.FreeList[persistSendState]
+	pnotes  mem.FreeList[persistNotify]
+
+	// ctr holds the per-message counters as plain fields: incrementing a
+	// string-keyed map on every send was a measurable slice of hot-path CPU.
+	// Stats() converts to the map form the lrts.Layer interface wants.
+	ctr struct {
+		msgqSent, smsgSent, rdmaSent, intraSent int64
+		persistChannels, persistSent            int64
+	}
 }
 
 // New builds the layer over a GNI instance. Call converse.NewMachine (which
@@ -204,22 +226,30 @@ func New(g *ugni.GNI, cfg Config) *Layer {
 		cfg:     cfg,
 		smsgMax: g.MaxSmsgSize(),
 		pending: make(map[uint64]*pendingSend),
-		stats:   make(map[string]int64),
 	}
 }
 
 // Name implements lrts.Layer.
 func (l *Layer) Name() string { return "ugni" }
 
-// Stats implements lrts.Layer.
+// Stats implements lrts.Layer. Counters that never fired are omitted,
+// matching the sparse map the old bump-per-message implementation built.
 func (l *Layer) Stats() map[string]int64 {
-	out := make(map[string]int64, len(l.stats)+2)
-	for k, v := range l.stats {
-		out[k] = v
+	out := make(map[string]int64, 9)
+	set := func(k string, v int64) {
+		if v != 0 {
+			out[k] = v
+		}
 	}
+	set("msgq_sent", l.ctr.msgqSent)
+	set("smsg_sent", l.ctr.smsgSent)
+	set("rdma_sent", l.ctr.rdmaSent)
+	set("intra_sent", l.ctr.intraSent)
+	set("persist_channels", l.ctr.persistChannels)
+	set("persist_sent", l.ctr.persistSent)
 	reg := l.gni.RegisteredBytes()
-	for _, p := range l.pools {
-		reg += p.Stats().RegisteredBytes
+	for i := range l.pools {
+		reg += l.pools[i].Stats().RegisteredBytes
 	}
 	out["registered_bytes"] = reg
 	out["mailbox_bytes"] = l.gni.MailboxBytes()
@@ -227,47 +257,69 @@ func (l *Layer) Stats() map[string]int64 {
 	return out
 }
 
-func (l *Layer) bump(key string) { l.stats[key]++ }
-
 // Start implements lrts.Layer: create per-PE CQs and pools and attach the
 // progress hooks.
 func (l *Layer) Start(h lrts.Host) {
 	l.host = h
 	n := h.NumPEs()
-	l.rxCQ = make([]*ugni.CQ, n)
-	l.rdmaCQ = make([]*ugni.CQ, n)
+	l.rxCQ = ugni.GetCQPtrSlab(n)
+	l.rdmaCQ = ugni.GetCQPtrSlab(n)
+	l.cqSlab = ugni.GetCQSlab(2 * n)
 	if l.cfg.UseMempool {
-		l.pools = make([]*mem.Pool, n)
+		l.pools = poolSlabs.Get(n)
 	}
 	l.loop = shm.NewLoopback(h.Eng(), l.cfg.Pxshm, sim.Lit("pxshm"))
 	if l.cfg.SMP {
 		probe := h.Eng().Probe()
-		for node := 0; node < l.gni.Net.NumNodes(); node++ {
-			cpu := sim.NewPEResource(sim.Indexed("node", node, ".commthread"))
+		l.commCPU = peSlabs.Get(l.gni.Net.NumNodes())
+		for node := range l.commCPU {
+			cpu := &l.commCPU[node]
+			sim.InitPEResource(cpu, sim.Indexed("node", node, ".commthread"))
 			if probe != nil {
 				cpu.SetProbe(probe)
 			}
-			l.commCPU = append(l.commCPU, cpu)
 		}
 	}
+	// One shared hook per event kind: the CQ passes its creation index (the
+	// PE) back, so no per-PE closures are needed.
+	onSmsg, onRdma := l.onSmsg, l.onRdma
 	for pe := 0; pe < n; pe++ {
-		pe := pe
-		rx := l.gni.CqCreateIdx("pe", pe, ".smsg")
-		rx.OnEvent = func(ev ugni.Event) { l.onSmsg(pe, ev) }
+		rx := &l.cqSlab[2*pe]
+		l.gni.CqInitIdx(rx, "pe", pe, ".smsg")
+		rx.OnEventIdx = onSmsg
 		l.gni.AttachSmsgCQ(pe, rx)
 		l.rxCQ[pe] = rx
 
-		rc := l.gni.CqCreateIdx("pe", pe, ".rdma")
-		rc.OnEvent = func(ev ugni.Event) { l.onRdma(pe, ev) }
+		rc := &l.cqSlab[2*pe+1]
+		l.gni.CqInitIdx(rc, "pe", pe, ".rdma")
+		rc.OnEventIdx = onRdma
 		l.rdmaCQ[pe] = rc
 
 		if l.cfg.UseMempool {
-			l.pools[pe] = mem.NewPool(mem.PoolConfig{
+			mem.InitPool(&l.pools[pe], mem.PoolConfig{
 				Model:    l.mem(),
 				SlabSize: l.cfg.PoolSlabBytes,
 			})
 		}
 	}
+}
+
+// poolSlabs and peSlabs recycle the layer's per-PE construction slabs
+// across machines (see mem.SlabCache).
+var (
+	poolSlabs mem.SlabCache[mem.Pool]
+	peSlabs   mem.SlabCache[sim.PEResource]
+)
+
+// Close releases the layer's construction slabs for reuse by a later
+// Start. The layer, its GNI, and its network must not be used afterwards.
+func (l *Layer) Close() {
+	ugni.PutCQPtrSlab(l.rxCQ)
+	ugni.PutCQPtrSlab(l.rdmaCQ)
+	ugni.PutCQSlab(l.cqSlab)
+	poolSlabs.Put(l.pools)
+	peSlabs.Put(l.commCPU)
+	l.rxCQ, l.rdmaCQ, l.cqSlab, l.pools, l.commCPU = nil, nil, nil, nil, nil
 }
 
 func (l *Layer) mem() mem.CostModel { return l.gni.Net.P.Mem }
@@ -280,6 +332,16 @@ func (l *Layer) allocBuf(pe, size int) (capacity int, cost sim.Time) {
 	}
 	m := l.mem()
 	return size, m.Malloc(size) + m.Register(size)
+}
+
+// ReleaseBuf implements lrts.BufReleaser: the scheduler calls it once per
+// delivered message that carries a receive buffer, instead of invoking a
+// per-message closure.
+func (l *Layer) ReleaseBuf(pe, capacity int, registered bool) sim.Time {
+	if registered {
+		return l.freeBuf(pe, capacity)
+	}
+	return l.freeMsgBuf(pe, capacity)
 }
 
 // freeBuf charges for releasing a registered buffer.
@@ -358,7 +420,7 @@ func (l *Layer) SyncSend(ctx lrts.SendContext, msg *lrts.Message) {
 // message once the host has issued it.
 func (l *Layer) sendSmall(ctx lrts.SendContext, msg *lrts.Message) {
 	if l.cfg.UseMSGQ {
-		l.bump("msgq_sent")
+		l.ctr.msgqSent++
 		cpu := l.gni.Net.P.HostSendCPU + l.gni.Net.P.MSGQExtraOverhead/2
 		at := l.sendStart(ctx, cpu)
 		if _, err := l.gni.MsgqSend(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at); err != nil {
@@ -366,7 +428,7 @@ func (l *Layer) sendSmall(ctx lrts.SendContext, msg *lrts.Message) {
 		}
 		return
 	}
-	l.bump("smsg_sent")
+	l.ctr.smsgSent++
 	at := l.sendStart(ctx, l.gni.Net.P.HostSendCPU)
 	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at, nil); err != nil {
 		panic(fmt.Sprintf("ugnimachine: smsg send: %v", err))
@@ -375,13 +437,16 @@ func (l *Layer) sendSmall(ctx lrts.SendContext, msg *lrts.Message) {
 
 // sendLarge runs the GET-based rendezvous of Figure 5.
 func (l *Layer) sendLarge(ctx lrts.SendContext, msg *lrts.Message) {
-	l.bump("rdma_sent")
+	l.ctr.rdmaSent++
 	capacity, allocCost := l.allocBuf(msg.SrcPE, msg.Size)
 	ctx.Charge(allocCost) // message copied/built in registered memory
 	id := l.nextID
 	l.nextID++
-	l.pending[id] = &pendingSend{bufCap: capacity, msg: msg}
-	init := &rdmaInit{id: id, msg: msg, size: msg.Size}
+	p := l.sends.Get()
+	p.bufCap, p.msg = capacity, msg
+	l.pending[id] = p
+	init := l.inits.Get()
+	init.id, init.msg, init.size = id, msg, msg.Size
 	at := l.sendStart(ctx, l.gni.Net.P.HostSendCPU)
 	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagInit, l.cfg.CtrlMsgSize, init, at, nil); err != nil {
 		panic(fmt.Sprintf("ugnimachine: init send: %v", err))
@@ -393,18 +458,15 @@ func (l *Layer) sendLarge(ctx lrts.SendContext, msg *lrts.Message) {
 // Section VII motivation: "the intra-node communication via POSIX shared
 // memory is still quite slow due to memory copy").
 func (l *Layer) sendIntra(ctx lrts.SendContext, msg *lrts.Message) {
-	l.bump("intra_sent")
+	l.ctr.intraSent++
 	if l.cfg.SMP {
 		// Pointer handoff through the node-shared queue: the loopback
 		// engine carries only the notification flight time.
 		ctx.Charge(l.cfg.SMPHandoff)
-		dst := msg.DstPE
-		_, arrive := l.loop.Transfer(dst, msg.Size, ctx.Now())
-		l.loop.Enqueue(arrive, func() {
-			s, e := l.host.CPU(dst).Acquire(arrive, l.cfg.Pxshm.PollCost)
-			l.host.NoteOverhead(dst, s, e)
-			l.host.Deliver(dst, msg, e)
-		})
+		_, arrive := l.loop.Transfer(msg.DstPE, msg.Size, ctx.Now())
+		st := l.intras.Get()
+		st.l, st.msg, st.arrive, st.smp = l, msg, arrive, true
+		l.loop.EnqueueArg(arrive, fireIntra, st)
 		return
 	}
 	mode := shm.SingleCopy
@@ -412,21 +474,45 @@ func (l *Layer) sendIntra(ctx lrts.SendContext, msg *lrts.Message) {
 		mode = shm.DoubleCopy
 	}
 	ctx.Charge(l.cfg.Pxshm.SendCost(msg.Size, mode))
+	_, arrive := l.loop.Transfer(msg.DstPE, msg.Size, ctx.Now())
+	st := l.intras.Get()
+	st.l, st.msg, st.arrive, st.mode = l, msg, arrive, mode
+	l.loop.EnqueueArg(arrive, fireIntra, st)
+}
+
+// intraState carries one in-flight intra-node delivery; pooled so the
+// pxshm path schedules closure-free.
+type intraState struct {
+	l      *Layer
+	msg    *lrts.Message
+	arrive sim.Time
+	mode   shm.Mode
+	smp    bool
+}
+
+// fireIntra completes an intra-node delivery on the receive side.
+func fireIntra(arg any) {
+	st := arg.(*intraState)
+	l, msg, arrive, mode, smp := st.l, st.msg, st.arrive, st.mode, st.smp
+	l.intras.Put(st)
 	dst := msg.DstPE
-	_, arrive := l.loop.Transfer(dst, msg.Size, ctx.Now())
-	l.loop.Enqueue(arrive, func() {
-		work := l.cfg.Pxshm.RecvCost(msg.Size, mode)
-		if mode == shm.DoubleCopy {
-			// The copy-out lands in a runtime buffer that is freed after
-			// handler execution; in single-copy mode the shared-memory
-			// region itself is handed to the application (no buffer).
-			bufCap, allocCost := l.allocMsgBuf(dst, msg.Size)
-			work += allocCost
-			msg.Release = func() sim.Time { return l.freeMsgBuf(dst, bufCap) }
-		}
-		e := l.progress(dst, arrive, work)
+	if smp {
+		s, e := l.host.CPU(dst).Acquire(arrive, l.cfg.Pxshm.PollCost)
+		l.host.NoteOverhead(dst, s, e)
 		l.host.Deliver(dst, msg, e)
-	})
+		return
+	}
+	work := l.cfg.Pxshm.RecvCost(msg.Size, mode)
+	if mode == shm.DoubleCopy {
+		// The copy-out lands in a runtime buffer that is freed after
+		// handler execution; in single-copy mode the shared-memory
+		// region itself is handed to the application (no buffer).
+		bufCap, allocCost := l.allocMsgBuf(dst, msg.Size)
+		work += allocCost
+		msg.ReleaseBy, msg.ReleasePE, msg.ReleaseCap = l, dst, bufCap
+	}
+	e := l.progress(dst, arrive, work)
+	l.host.Deliver(dst, msg, e)
 }
 
 // rdmaUnit picks FMA or BTE by size (Section III-C).
@@ -447,32 +533,37 @@ func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 		bufCap, allocCost := l.allocMsgBuf(pe, ev.Size)
 		work := poll + allocCost + l.mem().Memcpy(ev.Size)
 		e := l.progress(pe, ev.At, work)
-		msg.Release = func() sim.Time { return l.freeMsgBuf(pe, bufCap) }
+		msg.ReleaseBy, msg.ReleasePE, msg.ReleaseCap = l, pe, bufCap
 		l.host.Deliver(pe, msg, e)
 
 	case tagInit:
 		init := ev.Payload.(*rdmaInit)
-		capacity, allocCost := l.allocBuf(pe, init.size)
+		id, imsg, size := init.id, init.msg, init.size
+		l.inits.Put(init) // fields captured; the INIT record's trip is over
+		capacity, allocCost := l.allocBuf(pe, size)
 		if l.cfg.PutRendezvous {
 			// PUT-based ablation: return a CTS carrying the landing buffer.
 			e := l.progress(pe, ev.At, poll+allocCost+l.gni.Net.P.HostSendCPU)
-			cts := &ctsMsg{id: init.id, bufCap: capacity}
+			cts := &ctsMsg{id: id, bufCap: capacity}
 			if _, err := l.gni.SmsgSendWTag(pe, ev.Src, tagCTS, l.cfg.CtrlMsgSize, cts, e, nil); err != nil {
 				panic(fmt.Sprintf("ugnimachine: cts send: %v", err))
 			}
 			return
 		}
 		// Figure 5 receiver: allocate + register landing buffer, post GET.
-		desc := &ugni.PostDesc{
-			Kind:      ugni.PostGet,
-			Initiator: pe,
-			Remote:    ev.Src,
-			Size:      init.size,
-			Payload:   init.msg,
-			UserData:  &rdmaRecvState{init: init, bufCap: capacity},
-			LocalCQ:   l.rdmaCQ[pe],
-		}
-		post := l.rdmaUnit(init.size)
+		// The descriptor and receive state are pool-acquired; both release
+		// at the GET's local completion in onRdma.
+		rs := l.recvs.Get()
+		rs.id, rs.msg, rs.bufCap = id, imsg, capacity
+		desc := l.gni.NewPostDesc()
+		desc.Kind = ugni.PostGet
+		desc.Initiator = pe
+		desc.Remote = ev.Src
+		desc.Size = size
+		desc.Payload = imsg
+		desc.UserData = rs
+		desc.LocalCQ = l.rdmaCQ[pe]
+		post := l.rdmaUnit(size)
 		// CPU: poll + alloc + post, then the GET goes on the wire.
 		e := l.progress(pe, ev.At, poll+allocCost+l.gni.Net.P.HostPostCPU)
 		post(desc, e)
@@ -502,12 +593,16 @@ func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 	case tagAck:
 		// Figure 5 sender: release the send buffer.
 		ack := ev.Payload.(*rdmaAck)
-		p, ok := l.pending[ack.id]
+		id := ack.id
+		l.acks.Put(ack)
+		p, ok := l.pending[id]
 		if !ok {
-			panic(fmt.Sprintf("ugnimachine: ACK for unknown id %d", ack.id))
+			panic(fmt.Sprintf("ugnimachine: ACK for unknown id %d", id))
 		}
-		delete(l.pending, ack.id)
-		l.progress(pe, ev.At, poll+l.freeBuf(pe, p.bufCap))
+		delete(l.pending, id)
+		bufCap := p.bufCap
+		l.sends.Put(p)
+		l.progress(pe, ev.At, poll+l.freeBuf(pe, bufCap))
 
 	case tagPersist:
 		l.onPersistNotify(pe, ev)
@@ -518,8 +613,11 @@ func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 }
 
 // rdmaRecvState tags a GET descriptor with its rendezvous context.
+// Pool-acquired at tagInit (copying the INIT's fields so the rdmaInit
+// record can release immediately), released at the GET's local completion.
 type rdmaRecvState struct {
-	init   *rdmaInit
+	id     uint64
+	msg    *lrts.Message
 	bufCap int
 }
 
@@ -532,14 +630,22 @@ func (l *Layer) onRdma(pe int, ev ugni.Event) {
 		switch st := ev.Desc.UserData.(type) {
 		case *rdmaRecvState:
 			// GET completed: data landed in our buffer. Send ACK, deliver.
+			// The GET's descriptor and receive state release here — the
+			// last point either is observed.
+			msg, bufCap, id := st.msg, st.bufCap, st.id
+			remote := ev.Desc.Remote
+			l.recvs.Put(st)
+			l.gni.ReleasePostDesc(ev.Desc)
 			poll := l.gni.PollCost()
 			e := l.progress(pe, ev.At, poll+l.gni.Net.P.HostSendCPU)
-			_, err := l.gni.SmsgSendWTag(pe, ev.Desc.Remote, tagAck, l.cfg.CtrlMsgSize, &rdmaAck{id: st.init.id}, e, nil)
+			ack := l.acks.Get()
+			ack.id = id
+			_, err := l.gni.SmsgSendWTag(pe, remote, tagAck, l.cfg.CtrlMsgSize, ack, e, nil)
 			if err != nil {
 				panic(fmt.Sprintf("ugnimachine: ack send: %v", err))
 			}
-			st.init.msg.Release = func() sim.Time { return l.freeBuf(pe, st.bufCap) }
-			l.host.Deliver(pe, st.init.msg, e)
+			msg.ReleaseBy, msg.ReleasePE, msg.ReleaseCap, msg.ReleaseRegistered = l, pe, bufCap, true
+			l.host.Deliver(pe, msg, e)
 
 		case *putDataState:
 			// PUT-based ablation, sender side: data left our buffer.
@@ -548,7 +654,9 @@ func (l *Layer) onRdma(pe int, ev ugni.Event) {
 				panic(fmt.Sprintf("ugnimachine: PUT completion for unknown id %d", st.id))
 			}
 			delete(l.pending, st.id)
-			l.progress(pe, ev.At, l.gni.PollCost()+l.freeBuf(pe, p.bufCap))
+			bufCap := p.bufCap
+			l.sends.Put(p)
+			l.progress(pe, ev.At, l.gni.PollCost()+l.freeBuf(pe, bufCap))
 
 		default:
 			panic(fmt.Sprintf("ugnimachine: local RDMA completion with unknown state %T", st))
@@ -557,22 +665,27 @@ func (l *Layer) onRdma(pe int, ev ugni.Event) {
 	case ugni.EvRdmaRemote:
 		if st, ok := ev.Desc.UserData.(*putDataState); ok {
 			// PUT-based ablation, receiver side: data landed; deliver.
-			bufCap := st.bufCap
-			st.msg.Release = func() sim.Time { return l.freeBuf(pe, bufCap) }
+			st.msg.ReleaseBy, st.msg.ReleasePE = l, pe
+			st.msg.ReleaseCap, st.msg.ReleaseRegistered = st.bufCap, true
 			e := l.progress(pe, ev.At, l.gni.PollCost())
 			l.host.Deliver(pe, st.msg, e)
 			return
 		}
 		// Receiver side of a persistent PUT: record when the data landed.
+		// The PUT's descriptor and send state release here (this is the
+		// descriptor's only CQ event).
 		st, ok := ev.Desc.UserData.(*persistSendState)
 		if !ok {
 			panic(fmt.Sprintf("ugnimachine: remote RDMA completion with unknown state %T", ev.Desc.UserData))
 		}
-		ch := l.channels[st.handle]
-		ch.dataAt[st.seq] = ev.At
-		if msg, ok := ch.early[st.seq]; ok {
-			delete(ch.early, st.seq)
-			l.deliverPersist(ch, st.seq, msg, ev.At)
+		handle, seq := st.handle, st.seq
+		l.pstates.Put(st)
+		l.gni.ReleasePostDesc(ev.Desc)
+		ch := l.channels[handle]
+		ch.dataAt[seq] = ev.At
+		if msg, ok := ch.early[seq]; ok {
+			delete(ch.early, seq)
+			l.deliverPersist(ch, seq, msg, ev.At)
 		}
 
 	default:

@@ -36,7 +36,7 @@ func (l *Layer) CreatePersistent(ctx lrts.SendContext, dstPE, maxBytes int) (lrt
 		dataAt: make(map[uint64]sim.Time),
 		early:  make(map[uint64]*lrts.Message),
 	})
-	l.bump("persist_channels")
+	l.ctr.persistChannels++
 
 	// Receiver-side setup: allocate and register the persistent buffer.
 	net := l.gni.Net
@@ -75,21 +75,25 @@ func (l *Layer) SendPersistent(ctx lrts.SendContext, h lrts.PersistentHandle, ms
 		return fmt.Errorf("ugnimachine: persistent handle %d connects %d->%d, message is %d->%d",
 			h, ch.src, ch.dst, msg.SrcPE, msg.DstPE)
 	}
-	l.bump("persist_sent")
+	l.ctr.persistSent++
 	seq := ch.seq
 	ch.seq++
-	desc := &ugni.PostDesc{
-		Kind:      ugni.PostPut,
-		Initiator: msg.SrcPE,
-		Remote:    msg.DstPE,
-		Size:      msg.Size,
-		Payload:   msg,
-		UserData:  &persistSendState{handle: h, seq: seq, msg: msg},
-		RemoteCQ:  l.rdmaCQ[msg.DstPE],
-	}
+	// Descriptor and send state are pool-acquired; both release at the
+	// PUT's remote completion (its only CQ event).
+	st := l.pstates.Get()
+	st.handle, st.seq, st.msg = h, seq, msg
+	desc := l.gni.NewPostDesc()
+	desc.Kind = ugni.PostPut
+	desc.Initiator = msg.SrcPE
+	desc.Remote = msg.DstPE
+	desc.Size = msg.Size
+	desc.Payload = msg
+	desc.UserData = st
+	desc.RemoteCQ = l.rdmaCQ[msg.DstPE]
 	post := l.rdmaUnit(msg.Size)
 	ctx.Charge(post(desc, ctx.Now()))
-	note := &persistNotify{handle: h, seq: seq, msg: msg}
+	note := l.pnotes.Get()
+	note.handle, note.seq, note.msg = h, seq, msg
 	ctx.Charge(l.gni.Net.P.HostSendCPU)
 	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagPersist, l.cfg.CtrlMsgSize, note, ctx.Now(), nil); err != nil {
 		return fmt.Errorf("ugnimachine: persist notify: %w", err)
@@ -101,18 +105,20 @@ func (l *Layer) SendPersistent(ctx lrts.SendContext, h lrts.PersistentHandle, ms
 // the message once both the notification and the data have arrived.
 func (l *Layer) onPersistNotify(pe int, ev ugni.Event) {
 	note := ev.Payload.(*persistNotify)
-	ch := l.channels[note.handle]
-	dataAt, ok := ch.dataAt[note.seq]
+	handle, seq, msg := note.handle, note.seq, note.msg
+	l.pnotes.Put(note) // fields captured; the notification's trip is over
+	ch := l.channels[handle]
+	dataAt, ok := ch.dataAt[seq]
 	if !ok {
 		// Notification overtook the data event; hold it.
-		ch.early[note.seq] = note.msg
+		ch.early[seq] = msg
 		return
 	}
 	at := ev.At
 	if dataAt > at {
 		at = dataAt
 	}
-	l.deliverPersist(ch, note.seq, note.msg, at)
+	l.deliverPersist(ch, seq, msg, at)
 }
 
 // deliverPersist charges the receive poll and delivers the message.

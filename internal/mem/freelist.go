@@ -1,0 +1,62 @@
+package mem
+
+// This file is the simulator-side analog of the paper's §V.B memory pool:
+// where internal/mem.Pool models the *simulated* runtime's registered-buffer
+// pool (charging virtual time), FreeList removes real malloc/free from the
+// simulator's own hot path. Every message/descriptor struct that flows
+// through the steady-state event loop — converse envelopes, uGNI CQ event
+// nodes, FMA/BTE post descriptors, rendezvous-protocol records — is
+// acquired from a FreeList and released at a documented ownership point
+// (see DESIGN.md §2.2 "Allocation discipline").
+
+// live counts pooled descriptors currently acquired across every FreeList
+// in the process. It is maintained without atomics on purpose: all
+// Get/Put calls happen inside the simulator's serialized execution regions
+// (the single scheduler goroutine, or a rank thread holding the AMPI
+// handoff token, whose channel operations publish the writes), exactly
+// like the existing machine counters. The leak test asserts this returns
+// to its pre-run value after every experiment drains.
+var live int64
+
+// LiveDescriptors reports how many pooled descriptors are currently
+// acquired and not yet released, process-wide. A fully drained simulation
+// must bring this back to its value before the run started.
+func LiveDescriptors() int64 { return live }
+
+// FreeList is a typed free list for the simulator's own descriptor
+// structs. The zero value is ready to use. Get returns a zeroed *T
+// (recycled when available, freshly allocated otherwise); Put zeroes the
+// record and recycles it. Not safe for concurrent use — which is the
+// point: it lives inside the deterministic single-threaded simulation.
+type FreeList[T any] struct {
+	free []*T
+	out  int64 // acquired minus released, for leak diagnostics
+}
+
+// Get acquires a zeroed record.
+func (f *FreeList[T]) Get() *T {
+	f.out++
+	live++
+	if n := len(f.free); n > 0 {
+		x := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put releases a record back to the list. The record is zeroed here so a
+// stale pointer kept past release reads zeros (loudly wrong) rather than
+// the next owner's fields (silently wrong), and so the list never pins
+// dead payloads for the GC.
+func (f *FreeList[T]) Put(x *T) {
+	var zero T
+	*x = zero
+	f.out--
+	live--
+	f.free = append(f.free, x)
+}
+
+// Outstanding reports this list's acquired-minus-released count.
+func (f *FreeList[T]) Outstanding() int64 { return f.out }

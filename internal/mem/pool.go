@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"charmgo/internal/sim"
 )
@@ -21,7 +22,12 @@ type Pool struct {
 	allocCost sim.Time // critical-path cost of a pooled alloc/free
 	slabSize  int
 	slabLeft  int
-	buckets   map[int][]int // size class -> freelist of buffer capacities (value unused beyond count)
+	// buckets[i] counts free buffers of size class 1<<i. Classes are
+	// powers of two, so a count per log2 replaces the old
+	// map[class][]freelist (whose values were never used beyond their
+	// count) — bucket bookkeeping is now a single array index, no map
+	// lookups or slice growth on the alloc/free path.
+	buckets [64]uint32
 
 	// Statistics.
 	registeredBytes int64
@@ -43,20 +49,27 @@ type PoolConfig struct {
 // cost of the initial slab is recorded as setup cost (paid at startup, not
 // on any message's critical path).
 func NewPool(cfg PoolConfig) *Pool {
+	p := &Pool{}
+	InitPool(p, cfg)
+	return p
+}
+
+// InitPool initializes p in place, for callers that slab-allocate their
+// per-PE pools (`make([]mem.Pool, n)`) instead of paying one heap object
+// per pool. Semantics are identical to NewPool.
+func InitPool(p *Pool, cfg PoolConfig) {
 	if cfg.AllocCost == 0 {
 		cfg.AllocCost = 90 * sim.Nanosecond
 	}
 	if cfg.SlabSize == 0 {
 		cfg.SlabSize = 8 << 20
 	}
-	p := &Pool{
+	*p = Pool{
 		model:     cfg.Model,
 		allocCost: cfg.AllocCost,
 		slabSize:  cfg.SlabSize,
-		buckets:   make(map[int][]int),
 	}
 	p.expand()
-	return p
 }
 
 // expand registers a new slab.
@@ -89,8 +102,8 @@ func (p *Pool) Alloc(size int) (capacity int, cost sim.Time) {
 	p.allocs++
 	p.liveBytes += int64(class)
 	cost = p.allocCost
-	if fl := p.buckets[class]; len(fl) > 0 {
-		p.buckets[class] = fl[:len(fl)-1]
+	if i := bits.TrailingZeros(uint(class)); p.buckets[i] > 0 {
+		p.buckets[i]--
 		return class, cost
 	}
 	if class > p.slabSize {
@@ -113,7 +126,7 @@ func (p *Pool) Free(capacity int) sim.Time {
 	class := sizeClass(capacity)
 	p.frees++
 	p.liveBytes -= int64(class)
-	p.buckets[class] = append(p.buckets[class], class)
+	p.buckets[bits.TrailingZeros(uint(class))]++
 	return p.allocCost
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"charmgo/internal/gemini"
+	"charmgo/internal/mem"
 	"charmgo/internal/shm"
 	"charmgo/internal/sim"
 	"charmgo/internal/ugni"
@@ -70,6 +71,9 @@ func DefaultConfig() Config {
 type BufID int64
 
 // Envelope is an arrived-but-unreceived message: what Iprobe reports.
+// Envelopes are pool-acquired by the send paths and released back to the
+// pool at the end of Recv — callers must extract Payload and any other
+// fields they need before calling Recv.
 type Envelope struct {
 	Src, Dst   int
 	Size       int
@@ -78,6 +82,7 @@ type Envelope struct {
 	ArrivedAt  sim.Time
 	sendBuf    BufID
 	intra      bool
+	c          *Comm // owning communicator (for closure-free intra delivery)
 }
 
 // Comm is one communicator spanning all PEs of the network, rank == PE.
@@ -89,10 +94,20 @@ type Comm struct {
 	rxq       [][]*Envelope // per-rank unexpected-message queue
 	onArrival []func(env *Envelope)
 	dreg      []map[BufID]bool // per-rank registration cache (lazy per rank)
-	rdmaCQs   []*ugni.CQ       // per-rank eager-large landing CQ
+	cqSlab    []ugni.CQ        // slab: all per-rank CQs in two allocations
+	rdmaCQs   []*ugni.CQ       // per-rank eager-large landing CQ (into cqSlab)
 	loop      *shm.Loopback    // intra-node engine (sim.NICEngine)
 
-	stats map[string]int64
+	// envs pools Envelope records: acquired by every Isend path, released
+	// at the end of Recv (see Envelope's doc comment).
+	envs mem.FreeList[Envelope]
+
+	// ctr holds the per-call counters as plain fields (a string-keyed map
+	// assign per message is measurable on the hot path); Stats() converts.
+	ctr struct {
+		eagerSent, rndvSent, intraSent, recvs int64
+		udregHits, udregMisses                int64
+	}
 }
 
 // SMSG tags used internally.
@@ -110,35 +125,67 @@ func New(g *ugni.GNI, host Host, cfg Config) *Comm {
 		gni:       g,
 		host:      host,
 		cfg:       cfg,
-		rxq:       make([][]*Envelope, n),
-		onArrival: make([]func(*Envelope), n),
-		dreg:      make([]map[BufID]bool, n),
-		stats:     make(map[string]int64),
+		rxq:       rxqSlabs.Get(n),
+		onArrival: arrivalSlabs.Get(n),
+		dreg:      dregSlabs.Get(n),
 	}
 	c.loop = shm.NewLoopback(host.Eng(), cfg.Shm, sim.Lit("mpi.shm"))
+	// Slab-allocate all CQs and share two method values across every rank:
+	// OnEventIdx passes the CQ's own index, so no per-rank closures.
+	c.cqSlab = ugni.GetCQSlab(2 * n)
+	c.rdmaCQs = ugni.GetCQPtrSlab(n)
+	onSmsg, onRdma := c.onSmsg, c.onRdma
 	for rank := 0; rank < n; rank++ {
-		rank := rank
-		rx := g.CqCreateIdx("mpi.rank", rank, ".rx")
-		rx.OnEvent = func(ev ugni.Event) { c.onSmsg(rank, ev) }
+		rx := &c.cqSlab[2*rank]
+		g.CqInitIdx(rx, "mpi.rank", rank, ".rx")
+		rx.OnEventIdx = onSmsg
 		g.AttachSmsgCQ(rank, rx)
 
-		rc := g.CqCreateIdx("mpi.rank", rank, ".rdma")
-		rc.OnEvent = func(ev ugni.Event) { c.onRdma(rank, ev) }
-		c.rdmaCQs = append(c.rdmaCQs, rc)
+		rc := &c.cqSlab[2*rank+1]
+		g.CqInitIdx(rc, "mpi.rank", rank, ".rdma")
+		rc.OnEventIdx = onRdma
+		c.rdmaCQs[rank] = rc
 	}
 	return c
 }
 
-// Stats reports library counters.
-func (c *Comm) Stats() map[string]int64 {
-	out := make(map[string]int64, len(c.stats))
-	for k, v := range c.stats {
-		out[k] = v
-	}
-	return out
+// Per-rank construction slab caches, recycled across communicators (see
+// mem.SlabCache).
+var (
+	rxqSlabs     mem.SlabCache[[]*Envelope]
+	arrivalSlabs mem.SlabCache[func(*Envelope)]
+	dregSlabs    mem.SlabCache[map[BufID]bool]
+)
+
+// Close releases the communicator's construction slabs for reuse by a
+// later New. The communicator, its GNI, and its network must not be used
+// afterwards.
+func (c *Comm) Close() {
+	ugni.PutCQSlab(c.cqSlab)
+	ugni.PutCQPtrSlab(c.rdmaCQs)
+	rxqSlabs.Put(c.rxq)
+	arrivalSlabs.Put(c.onArrival)
+	dregSlabs.Put(c.dreg)
+	c.cqSlab, c.rdmaCQs, c.rxq, c.onArrival, c.dreg = nil, nil, nil, nil, nil
 }
 
-func (c *Comm) bump(key string) { c.stats[key]++ }
+// Stats reports library counters. Counters that never fired are omitted,
+// matching the sparse map the old bump-per-call implementation built.
+func (c *Comm) Stats() map[string]int64 {
+	out := make(map[string]int64, 6)
+	set := func(k string, v int64) {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	set("eager_sent", c.ctr.eagerSent)
+	set("rndv_sent", c.ctr.rndvSent)
+	set("intra_sent", c.ctr.intraSent)
+	set("recvs", c.ctr.recvs)
+	set("udreg_hits", c.ctr.udregHits)
+	set("udreg_misses", c.ctr.udregMisses)
+	return out
+}
 
 // OnArrival registers the event hook invoked when a message for rank
 // becomes probe-visible. It stands in for the polling loop around
@@ -154,7 +201,7 @@ func (c *Comm) Overhead() sim.Time { return c.cfg.SoftwareOverhead }
 // registerCached charges registration for buf on rank unless cached.
 func (c *Comm) registerCached(rank int, buf BufID, size int) sim.Time {
 	if buf != 0 && c.dreg[rank][buf] {
-		c.bump("udreg_hits")
+		c.ctr.udregHits++
 		return 0
 	}
 	if buf != 0 {
@@ -163,7 +210,7 @@ func (c *Comm) registerCached(rank int, buf BufID, size int) sim.Time {
 		}
 		c.dreg[rank][buf] = true
 	}
-	c.bump("udreg_misses")
+	c.ctr.udregMisses++
 	_, cost := c.gni.MemRegister(rank, size)
 	return cost
 }
@@ -180,11 +227,19 @@ func (c *Comm) Isend(src, dst, size int, payload any, buf BufID, at sim.Time) si
 	return c.isendRndv(src, dst, size, payload, buf, at)
 }
 
+// newEnv acquires a pooled envelope (released at the end of Recv).
+func (c *Comm) newEnv() *Envelope {
+	env := c.envs.Get()
+	env.c = c
+	return env
+}
+
 // isendEager copies into an internal registered buffer and ships it.
 func (c *Comm) isendEager(src, dst, size int, payload any, at sim.Time) sim.Time {
-	c.bump("eager_sent")
+	c.ctr.eagerSent++
 	cpu := c.cfg.SoftwareOverhead + c.gni.Net.P.Mem.Memcpy(size)
-	env := &Envelope{Src: src, Dst: dst, Size: size, Payload: payload}
+	env := c.newEnv()
+	env.Src, env.Dst, env.Size, env.Payload = src, dst, size, payload
 	sendAt := at + cpu
 	if size <= c.gni.MaxSmsgSize() {
 		wire, err := c.gni.SmsgSendWTag(src, dst, tagEager, size, env, sendAt, nil)
@@ -193,23 +248,25 @@ func (c *Comm) isendEager(src, dst, size int, payload any, at sim.Time) sim.Time
 		}
 		return cpu + wire
 	}
-	// Eager-large: FMA PUT into the pre-registered eager landing zone.
-	desc := &ugni.PostDesc{
-		Kind:      ugni.PostPut,
-		Initiator: src,
-		Remote:    dst,
-		Size:      size,
-		Payload:   env,
-		RemoteCQ:  c.rdmaCQs[dst],
-	}
+	// Eager-large: FMA PUT into the pre-registered eager landing zone. The
+	// descriptor has only a remote CQ, so it releases in onRdma.
+	desc := c.gni.NewPostDesc()
+	desc.Kind = ugni.PostPut
+	desc.Initiator = src
+	desc.Remote = dst
+	desc.Size = size
+	desc.Payload = env
+	desc.RemoteCQ = c.rdmaCQs[dst]
 	return cpu + c.gni.PostFma(desc, sendAt)
 }
 
 // isendRndv registers the send buffer (uDREG) and sends an RTS.
 func (c *Comm) isendRndv(src, dst, size int, payload any, buf BufID, at sim.Time) sim.Time {
-	c.bump("rndv_sent")
+	c.ctr.rndvSent++
 	cpu := c.cfg.SoftwareOverhead + c.registerCached(src, buf, size)
-	env := &Envelope{Src: src, Dst: dst, Size: size, Payload: payload, Rendezvous: true, sendBuf: buf}
+	env := c.newEnv()
+	env.Src, env.Dst, env.Size, env.Payload = src, dst, size, payload
+	env.Rendezvous, env.sendBuf = true, buf
 	wire, err := c.gni.SmsgSendWTag(src, dst, tagRTS, c.cfg.CtrlMsgSize, env, at+cpu, nil)
 	if err != nil {
 		panic(fmt.Sprintf("mpi: RTS smsg: %v", err))
@@ -219,17 +276,26 @@ func (c *Comm) isendRndv(src, dst, size int, payload any, buf BufID, at sim.Time
 
 // isendIntra ships the message over the node-local shared-memory path.
 func (c *Comm) isendIntra(src, dst, size int, payload any, at sim.Time) sim.Time {
-	c.bump("intra_sent")
+	c.ctr.intraSent++
 	cpu := c.cfg.SoftwareOverhead
-	env := &Envelope{Src: src, Dst: dst, Size: size, Payload: payload, intra: true}
+	env := c.newEnv()
+	env.Src, env.Dst, env.Size, env.Payload = src, dst, size, payload
+	env.intra = true
 	if size <= c.cfg.XpmemThreshold {
 		// Double-copy path: sender copies into the shared region.
 		cpu += c.cfg.Shm.SendCost(size, shm.DoubleCopy)
 	}
 	// XPMEM path: no sender copy, the receiver will map and copy once.
 	_, arrive := c.loop.Transfer(dst, size, at+cpu)
-	c.loop.Enqueue(arrive, func() { c.arrive(dst, env, arrive) })
+	env.ArrivedAt = arrive
+	c.loop.EnqueueArg(arrive, fireIntraArrive, env)
 	return cpu
+}
+
+// fireIntraArrive delivers a node-local envelope (closure-free Enqueue).
+func fireIntraArrive(arg any) {
+	env := arg.(*Envelope)
+	env.c.arrive(env.Dst, env, env.ArrivedAt)
 }
 
 // onSmsg demultiplexes uGNI SMSG events.
@@ -238,12 +304,14 @@ func (c *Comm) onSmsg(rank int, ev ugni.Event) {
 	c.arrive(rank, env, ev.At)
 }
 
-// onRdma handles eager-large PUT arrivals.
+// onRdma handles eager-large PUT arrivals. The descriptor's only CQ event
+// is this one, so it returns to the pool here.
 func (c *Comm) onRdma(rank int, ev ugni.Event) {
 	if ev.Type != ugni.EvRdmaRemote {
 		panic(fmt.Sprintf("mpi: unexpected RDMA event %v", ev.Type))
 	}
 	env := ev.Payload.(*Envelope)
+	c.gni.ReleasePostDesc(ev.Desc)
 	c.arrive(rank, env, ev.At)
 }
 
@@ -297,7 +365,10 @@ func (c *Comm) Recv(env *Envelope, buf BufID, at sim.Time) sim.Time {
 		c.host.CPU(env.Dst).Acquire(at, end-at)
 		done = end
 	}
-	c.bump("recvs")
+	c.ctr.recvs++
+	// The envelope's delivery is complete: recycle it. Callers must not
+	// touch env after Recv returns.
+	c.envs.Put(env)
 	return done
 }
 

@@ -114,5 +114,9 @@ func (l *Loopback) Transfer(dst, size int, ready sim.Time) (srcDone, dstArrive s
 // Enqueue schedules a completion callback on the machine's event loop.
 func (l *Loopback) Enqueue(at sim.Time, fn func()) { l.eng.At(at, fn) }
 
+// EnqueueArg schedules a closure-free completion callback on the machine's
+// event loop (see sim.Engine.AtArg).
+func (l *Loopback) EnqueueArg(at sim.Time, fn func(any), arg any) { l.eng.AtArg(at, fn, arg) }
+
 // Transfers reports how many handoffs this engine carried.
 func (l *Loopback) Transfers() uint64 { return l.transfers }

@@ -11,6 +11,8 @@ type Event struct {
 	eng   *Engine
 	at    Time
 	fn    func()
+	afn   func(any) // closure-free form: afn(arg) fires instead of fn()
+	arg   any
 	state uint8
 	next  *Event // free-list link while pooled
 }
@@ -35,6 +37,8 @@ func (ev *Event) Cancel() {
 	}
 	ev.state = evCancelled
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	e := ev.eng
 	e.live--
 	e.cancelled++
@@ -107,6 +111,34 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 // At runs fn at absolute virtual time t. Scheduling in the past is an error:
 // the simulation's causality would break silently, so it panics loudly.
 func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.acquire(t)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleArg is Schedule for the closure-free form: fn(arg) runs after
+// delay units of virtual time.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtArg(e.now+delay, fn, arg)
+}
+
+// AtArg runs fn(arg) at absolute virtual time t. This is the closure-free
+// scheduling form: with fn a package-level function and arg a pointer into
+// caller-owned (typically pooled) state, scheduling allocates nothing —
+// the callback pair lives inside the pooled Event record.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	ev := e.acquire(t)
+	ev.afn = fn
+	ev.arg = arg
+	return ev
+}
+
+// acquire pops a pooled record (or allocates the pool's next one), books it
+// at t, and pushes its heap entry. The caller sets exactly one of fn/afn.
+func (e *Engine) acquire(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -118,7 +150,6 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		ev = &Event{eng: e}
 	}
 	ev.at = t
-	ev.fn = fn
 	ev.state = evPending
 	e.push(entry{at: t, seq: e.seq, ev: ev})
 	e.seq++
@@ -130,6 +161,8 @@ func (e *Engine) At(t Time, fn func()) *Event {
 func (e *Engine) release(ev *Event) {
 	ev.state = evFree
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.next = e.free
 	e.free = ev
 }
@@ -144,10 +177,10 @@ func (e *Engine) Step() bool {
 			e.release(ev)
 			continue
 		}
-		fn := ev.fn
-		// Release before running: fn routinely schedules a follow-up, and
-		// reusing this record immediately is what keeps the steady state
-		// allocation-free.
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		// Release before running: the callback routinely schedules a
+		// follow-up, and reusing this record immediately is what keeps the
+		// steady state allocation-free.
 		e.release(ev)
 		e.live--
 		e.now = en.at
@@ -155,7 +188,11 @@ func (e *Engine) Step() bool {
 		if e.probe != nil {
 			e.probe.EventFired(e.now, e.live)
 		}
-		fn()
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false

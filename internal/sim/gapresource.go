@@ -48,10 +48,19 @@ type gnode struct {
 // resource without one would either leak or (as the old implementation
 // did) silently drop potentially-live bookings past an arbitrary cap.
 func NewGapResource(name Name, clock func() Time) *GapResource {
+	r := &GapResource{}
+	InitGapResource(r, name, clock)
+	return r
+}
+
+// InitGapResource initializes r in place with NewGapResource semantics,
+// for callers that slab-allocate resource arrays (one allocation for a
+// whole network's links) instead of one heap object per resource.
+func InitGapResource(r *GapResource, name Name, clock func() Time) {
 	if clock == nil {
 		panic("sim: NewGapResource requires a clock for exact dead-interval pruning")
 	}
-	return &GapResource{name: name, clock: clock}
+	*r = GapResource{name: name, clock: clock}
 }
 
 // SetProbe installs p to observe every booking (nil disables).

@@ -24,4 +24,8 @@ type NICEngine interface {
 	// Enqueue schedules a completion callback at the given time on the
 	// engine's event loop.
 	Enqueue(at Time, fn func())
+	// EnqueueArg is the closure-free form of Enqueue: fn(arg) runs at the
+	// given time. With fn a package-level function and arg pooled state,
+	// scheduling a completion allocates nothing (see Engine.AtArg).
+	EnqueueArg(at Time, fn func(any), arg any)
 }

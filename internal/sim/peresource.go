@@ -17,6 +17,12 @@ func NewPEResource(name Name) *PEResource {
 	return &PEResource{name: name}
 }
 
+// InitPEResource initializes r in place with NewPEResource semantics, for
+// callers that slab-allocate one array of per-PE resources.
+func InitPEResource(r *PEResource, name Name) {
+	*r = PEResource{name: name}
+}
+
 // SetProbe installs p to observe every booking (nil disables).
 func (r *PEResource) SetProbe(p Probe) { r.probe = p }
 

@@ -1,0 +1,66 @@
+package topology
+
+// LinkID is a dense directional-link index in [0, Torus.NumLinks()), the
+// same numbering as Torus.LinkIndex. Routes are cached as []LinkID so the
+// network books hops straight into its link array without re-deriving
+// coordinates or Link structs per message.
+type LinkID int32
+
+// Table is a Torus with its node→coordinate mapping precomputed. Coords
+// shows up hot in profiles when recomputed per message (div/mod per
+// lookup); the table turns it into one slice load. Both the gemini network
+// and route construction share one table per network.
+type Table struct {
+	Torus
+	xyz [][3]int32
+}
+
+// NewTable precomputes the coordinate table for t.
+func NewTable(t Torus) *Table {
+	tb := &Table{Torus: t, xyz: make([][3]int32, t.Nodes())}
+	for n := range tb.xyz {
+		x, y, z := t.Coords(n)
+		tb.xyz[n] = [3]int32{int32(x), int32(y), int32(z)}
+	}
+	return tb
+}
+
+// Coords maps a node ID to (x, y, z) via the precomputed table.
+func (tb *Table) Coords(node int) (x, y, z int) {
+	c := tb.xyz[node]
+	return int(c[0]), int(c[1]), int(c[2])
+}
+
+// Hops reports the minimal hop distance between two nodes using the table.
+func (tb *Table) Hops(a, b int) int {
+	ac, bc := tb.xyz[a], tb.xyz[b]
+	return torusDist(int(ac[0]), int(bc[0]), tb.X) +
+		torusDist(int(ac[1]), int(bc[1]), tb.Y) +
+		torusDist(int(ac[2]), int(bc[2]), tb.Z)
+}
+
+// AppendLinkIDs appends the dense link indices of the dimension-ordered
+// path from a to b (the same path AppendPath enumerates) to buf and
+// returns it. Built once per (src, dst) pair by the network's route cache,
+// then replayed for every message on that pair.
+func (tb *Table) AppendLinkIDs(buf []LinkID, a, b int) []LinkID {
+	tb.check(a)
+	tb.check(b)
+	if a == b {
+		return buf
+	}
+	dims := tb.Dims()
+	var cur, bc [NumDims]int
+	cur[0], cur[1], cur[2] = tb.Coords(a)
+	bc[0], bc[1], bc[2] = tb.Coords(b)
+	for dim := 0; dim < NumDims; dim++ {
+		size := dims[dim]
+		dist, dir := torusStep(cur[dim], bc[dim], size)
+		for i := 0; i < dist; i++ {
+			from := tb.Node(cur[0], cur[1], cur[2])
+			buf = append(buf, LinkID(tb.LinkIndex(Link{From: from, Dim: dim, Dir: dir})))
+			cur[dim] = wrap(cur[dim]+dir, size)
+		}
+	}
+	return buf
+}

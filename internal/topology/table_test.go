@@ -1,0 +1,68 @@
+package topology
+
+import "testing"
+
+// nonCubicTori exercises shapes where X, Y, Z all differ, so any confusion
+// between dimension strides in the precomputed table shows up immediately.
+var nonCubicTori = []Torus{
+	{X: 4, Y: 3, Z: 2},
+	{X: 5, Y: 3, Z: 2},
+	{X: 7, Y: 2, Z: 1},
+	{X: 3, Y: 3, Z: 3},
+}
+
+func TestTableCoordsMatchesTorus(t *testing.T) {
+	for _, tor := range nonCubicTori {
+		tb := NewTable(tor)
+		for n := 0; n < tor.Nodes(); n++ {
+			wx, wy, wz := tor.Coords(n)
+			gx, gy, gz := tb.Coords(n)
+			if gx != wx || gy != wy || gz != wz {
+				t.Fatalf("%v: Table.Coords(%d) = (%d,%d,%d), Torus.Coords = (%d,%d,%d)",
+					tor, n, gx, gy, gz, wx, wy, wz)
+			}
+			if got := tor.Node(gx, gy, gz); got != n {
+				t.Fatalf("%v: Node(Coords(%d)) = %d", tor, n, got)
+			}
+		}
+	}
+}
+
+func TestTableHopsMatchesTorus(t *testing.T) {
+	for _, tor := range nonCubicTori {
+		tb := NewTable(tor)
+		for a := 0; a < tor.Nodes(); a++ {
+			for b := 0; b < tor.Nodes(); b++ {
+				if got, want := tb.Hops(a, b), tor.Hops(a, b); got != want {
+					t.Fatalf("%v: Table.Hops(%d,%d) = %d, Torus.Hops = %d", tor, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTableLinkIDsMatchAppendPath(t *testing.T) {
+	for _, tor := range nonCubicTori {
+		tb := NewTable(tor)
+		var links []Link
+		var ids []LinkID
+		for a := 0; a < tor.Nodes(); a++ {
+			for b := 0; b < tor.Nodes(); b++ {
+				links = tor.AppendPath(links[:0], a, b)
+				ids = tb.AppendLinkIDs(ids[:0], a, b)
+				if len(ids) != len(links) {
+					t.Fatalf("%v: path %d->%d: %d link IDs vs %d links", tor, a, b, len(ids), len(links))
+				}
+				for i, l := range links {
+					if int(ids[i]) != tor.LinkIndex(l) {
+						t.Fatalf("%v: path %d->%d hop %d: LinkID %d, LinkIndex %d",
+							tor, a, b, i, ids[i], tor.LinkIndex(l))
+					}
+				}
+				if len(ids) != tb.Hops(a, b) {
+					t.Fatalf("%v: path %d->%d has %d hops, Hops = %d", tor, a, b, len(ids), tb.Hops(a, b))
+				}
+			}
+		}
+	}
+}

@@ -66,6 +66,9 @@ func (g *GNI) PostAMO(d *AMODesc, at sim.Time) sim.Time {
 	if d.LocalCQ == nil {
 		panic("ugni: PostAMO requires a LocalCQ")
 	}
+	if g.amoRegs == nil {
+		g.amoRegs = make(map[amoKey]int64)
+	}
 	iNode := g.Net.NodeOf(d.Initiator)
 	rNode := g.Net.NodeOf(d.Remote)
 	_, reqArrive := g.Net.Transfer(iNode, rNode, amoWireBytes, gemini.UnitFMA, at)

@@ -64,6 +64,8 @@ type Event struct {
 type CQ struct {
 	name sim.Name
 	eng  *sim.Engine
+	g    *GNI // owner; carries the shared delivery-node pool
+	idx  int32
 	q    []Event
 
 	// OnEvent, if set, consumes every event: it fires (as an engine event,
@@ -71,8 +73,15 @@ type CQ struct {
 	// GetEvent. This replaces the spin-polling loop a real progress engine
 	// runs; per-event poll cost is charged by the handler (DESIGN.md §5).
 	// A CQ therefore operates in exactly one of two modes: hooked
-	// (OnEvent set) or polled (GetEvent drains the queue).
+	// (OnEvent or OnEventIdx set) or polled (GetEvent drains the queue).
 	OnEvent func(ev Event)
+
+	// OnEventIdx is OnEvent for layers that keep one per-PE queue array:
+	// the queue's creation index (CqCreateIdx/CqInitIdx) is passed along,
+	// so a layer can install ONE shared hook function on every queue
+	// instead of allocating a per-queue closure that captures the PE.
+	// OnEventIdx wins when both are set.
+	OnEventIdx func(idx int, ev Event)
 
 	delivered uint64
 }
@@ -98,15 +107,38 @@ func (cq *CQ) GetEvent() (ev Event, ok bool) {
 	return ev, true
 }
 
+// cqNode carries one in-flight event delivery: the target queue plus the
+// full Event, pooled on the owning GNI so that pushing an event allocates
+// nothing in steady state (the old closure-per-push was one of the largest
+// allocation sources in the whole simulator).
+type cqNode struct {
+	cq *CQ
+	ev Event
+}
+
+// deliverCQ is the engine callback for every CQ delivery (closure-free
+// dispatch: one package-level function, pooled argument).
+func deliverCQ(arg any) {
+	n := arg.(*cqNode)
+	cq, ev := n.cq, n.ev
+	cq.g.cqNodes.Put(n)
+	cq.delivered++
+	if cq.OnEventIdx != nil {
+		cq.OnEventIdx(int(cq.idx), ev)
+		return
+	}
+	if cq.OnEvent != nil {
+		cq.OnEvent(ev)
+		return
+	}
+	cq.q = append(cq.q, ev)
+}
+
 // push schedules the event to appear at time at.
 func (cq *CQ) push(at sim.Time, ev Event) {
 	ev.At = at
-	cq.eng.At(at, func() {
-		cq.delivered++
-		if cq.OnEvent != nil {
-			cq.OnEvent(ev)
-			return
-		}
-		cq.q = append(cq.q, ev)
-	})
+	n := cq.g.cqNodes.Get()
+	n.cq = cq
+	n.ev = ev
+	cq.eng.AtArg(at, deliverCQ, n)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"charmgo/internal/gemini"
+	"charmgo/internal/mem"
 	"charmgo/internal/sim"
 )
 
@@ -18,10 +19,16 @@ type GNI struct {
 	rxCQ     []*CQ // per-PE SMSG receive CQ (attached by the machine layer)
 	mailbox  map[uint64]bool
 	mbxBytes int64
-	amoRegs  map[amoKey]int64
+	amoRegs  map[amoKey]int64 // lazily created on first AMO
 
 	msgqConns map[uint64]bool
 	msgqBytes int64
+
+	// cqNodes pools in-flight CQ deliveries; descs pools post descriptors
+	// for callers that follow the acquire/release contract (NewPostDesc /
+	// ReleasePostDesc). See DESIGN.md §2.2.
+	cqNodes mem.FreeList[cqNode]
+	descs   mem.FreeList[PostDesc]
 
 	registeredBytes int64
 	registrations   uint64
@@ -35,7 +42,6 @@ func New(net *gemini.Network) *GNI {
 		smsgMax: gemini.SMSGMaxSize(net.NumPEs()),
 		rxCQ:    make([]*CQ, net.NumPEs()),
 		mailbox: make(map[uint64]bool),
-		amoRegs: make(map[amoKey]int64),
 	}
 }
 
@@ -44,14 +50,33 @@ func (g *GNI) MaxSmsgSize() int { return g.smsgMax }
 
 // CqCreate mirrors GNI_CqCreate: it returns an empty completion queue.
 func (g *GNI) CqCreate(name string) *CQ {
-	return &CQ{name: sim.Lit(name), eng: g.Net.Eng}
+	return &CQ{name: sim.Lit(name), eng: g.Net.Eng, g: g}
 }
 
 // CqCreateIdx is CqCreate for per-PE queues ("<pre><idx><post>"): the
 // label is kept lazy so creating thousands of queues costs no formatting.
 func (g *GNI) CqCreateIdx(pre string, idx int, post string) *CQ {
-	return &CQ{name: sim.Indexed(pre, idx, post), eng: g.Net.Eng}
+	cq := &CQ{}
+	g.CqInitIdx(cq, pre, idx, post)
+	return cq
 }
+
+// CqInitIdx initializes cq in place with CqCreateIdx semantics, for machine
+// layers that slab-allocate their per-PE queue arrays (`make([]ugni.CQ, n)`)
+// instead of paying one heap object per queue.
+func (g *GNI) CqInitIdx(cq *CQ, pre string, idx int, post string) {
+	*cq = CQ{name: sim.Indexed(pre, idx, post), eng: g.Net.Eng, g: g, idx: int32(idx)}
+}
+
+// NewPostDesc acquires a zeroed post descriptor from the job-wide pool.
+// The matching ReleasePostDesc call happens at the descriptor's completion
+// event (the last CQ event the post generates); a descriptor that outlives
+// its transaction must be heap-allocated instead.
+func (g *GNI) NewPostDesc() *PostDesc { return g.descs.Get() }
+
+// ReleasePostDesc returns a pool-acquired descriptor. The caller must not
+// touch d afterwards.
+func (g *GNI) ReleasePostDesc(d *PostDesc) { g.descs.Put(d) }
 
 // AttachSmsgCQ designates cq as the receive CQ for incoming SMSG messages
 // addressed to pe.

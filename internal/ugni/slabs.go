@@ -1,0 +1,27 @@
+package ugni
+
+import "charmgo/internal/mem"
+
+// Machine layers allocate one CQ per PE per event kind, in a single slab,
+// every time a machine is constructed — the dominant construction
+// allocation in experiment suites that build one machine per data point.
+// These package-level caches recycle the slabs across machines: a layer's
+// Close returns its slabs here, and the next Start reuses them (zeroed by
+// SlabCache.Get, so reuse is indistinguishable from a fresh make).
+var (
+	cqSlabs    mem.SlabCache[CQ]
+	cqPtrSlabs mem.SlabCache[*CQ]
+)
+
+// GetCQSlab returns a zeroed CQ slab of length n.
+func GetCQSlab(n int) []CQ { return cqSlabs.Get(n) }
+
+// PutCQSlab recycles a CQ slab. Every CQ in it must be detached: the
+// owning machine, its GNI, and its network must not be used afterwards.
+func PutCQSlab(s []CQ) { cqSlabs.Put(s) }
+
+// GetCQPtrSlab returns a zeroed per-PE CQ pointer slab of length n.
+func GetCQPtrSlab(n int) []*CQ { return cqPtrSlabs.Get(n) }
+
+// PutCQPtrSlab recycles a CQ pointer slab.
+func PutCQPtrSlab(s []*CQ) { cqPtrSlabs.Put(s) }
