@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint check bench-smoke bench-json profile alloc-gate
+.PHONY: build test test-race vet lint lint-audit check bench-smoke bench-json profile alloc-gate
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,18 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# simlint: the determinism-and-kernel-discipline analyzers
-# (internal/analysis/simlint). Zero findings and zero unexplained
-# suppressions required; see DESIGN.md "Determinism rules".
+# simlint: all nine analyzers (internal/analysis/simlint) — the five
+# determinism/kernel-discipline rules plus the CFG/dataflow ownership
+# rules (poolleak, useafterrelease, hotpathalloc, closechain). Zero
+# findings and zero unexplained or unused suppressions required; see
+# DESIGN.md §6 "Determinism rules" / "Ownership rules".
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# List every //simlint:allow suppression in the tree with its audit-trail
+# justification (fails if any lacks one).
+lint-audit:
+	$(GO) run ./cmd/simlint -audit ./...
 
 check: build vet lint test test-race
 

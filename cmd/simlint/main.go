@@ -4,15 +4,26 @@
 //
 // Usage:
 //
-//	go run ./cmd/simlint [packages]
+//	go run ./cmd/simlint [-json] [-audit] [packages]
 //
 // With no arguments it analyzes ./.... Suppressions use
 // `//simlint:allow <analyzer> -- <reason>` on (or one line above) the
 // flagged line; a suppression without a reason, or one matching no
 // diagnostic, is itself reported, so the lint run stays self-auditing.
+//
+// -json emits findings as a JSON array of {analyzer, file, line, col,
+// message} objects (an empty array when clean) for CI and editor tooling.
+//
+// -audit skips analysis and instead lists every `//simlint:allow`
+// suppression in the analyzed packages with its justification, so the
+// complete audit trail of accepted exceptions is one command away. With
+// -json the audit is emitted as {analyzer, file, line, col, reason}
+// objects. -audit exits nonzero only if a suppression lacks a reason.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -21,7 +32,11 @@ import (
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings (or the -audit list) as JSON")
+	audit := flag.Bool("audit", false, "list every //simlint:allow suppression with its justification")
+	flag.Parse()
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -31,16 +46,105 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
+	if *audit {
+		os.Exit(runAudit(pkgs, *jsonOut))
+	}
 	diags, err := framework.Run(pkgs, simlint.Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *jsonOut {
+		printJSONDiags(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d issue(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func printJSONDiags(diags []framework.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	emitJSON(out)
+}
+
+// jsonSuppression is the -audit -json wire form of one allow directive.
+type jsonSuppression struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Reason   string `json:"reason"`
+}
+
+// runAudit lists every suppression and returns the process exit code:
+// nonzero when any allow lacks a justification.
+func runAudit(pkgs []*framework.Package, jsonOut bool) int {
+	sups := framework.Suppressions(pkgs)
+	bare := 0
+	for _, s := range sups {
+		if s.Reason == "" {
+			bare++
+		}
+	}
+	if jsonOut {
+		out := make([]jsonSuppression, 0, len(sups))
+		for _, s := range sups {
+			out = append(out, jsonSuppression{
+				Analyzer: s.Analyzer,
+				File:     s.Pos.Filename,
+				Line:     s.Pos.Line,
+				Col:      s.Pos.Column,
+				Reason:   s.Reason,
+			})
+		}
+		emitJSON(out)
+	} else {
+		for _, s := range sups {
+			reason := s.Reason
+			if reason == "" {
+				reason = "(no justification — rejected by the lint run)"
+			}
+			fmt.Printf("%s:%d:%d: allow %s -- %s\n",
+				s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Analyzer, reason)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: %d suppression(s)\n", len(sups))
+	}
+	if bare > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d suppression(s) without a justification\n", bare)
+		return 1
+	}
+	return 0
+}
+
+// emitJSON writes v as indented JSON on stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
 	}
 }

@@ -30,6 +30,8 @@ type Analyzer struct {
 
 // Pass carries one (analyzer, package) unit of work. Files holds the parsed
 // syntax, TypesInfo the full type information for every expression in them.
+// Prog is the shared whole-program view (call graph, hotpath reachability,
+// function annotations) spanning every package of the Run.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -37,8 +39,10 @@ type Pass struct {
 	Pkg       *types.Package
 	PkgPath   string // import path being analyzed (test variants share the base path)
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags *[]Diagnostic
+	funcs []*FuncInfo // Functions() cache
 }
 
 // Diagnostic is one reported finding.
@@ -70,6 +74,7 @@ func (p *Pass) File(pos token.Pos) string { return p.Fset.Position(pos).Filename
 // applied (see suppress.go): explained `//simlint:allow` lines remove their
 // diagnostic, unexplained or unused ones surface as diagnostics themselves.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
@@ -81,6 +86,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				PkgPath:   pkg.PkgPath,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {

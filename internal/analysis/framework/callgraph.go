@@ -1,0 +1,255 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Program is the whole-program view shared by every pass of one Run: the
+// loaded packages, a lightweight call graph over their declared
+// functions, and the `//simlint:` function annotations (hotpath, acquire,
+// release) with hot-path reachability propagated from the roots.
+//
+// The call graph is deliberately conservative-but-cheap: an edge exists
+// from a declared function to every declared function it *references* —
+// direct calls, method expressions, and function values passed as
+// arguments (the closure-free dispatch style: AtArg/ScheduleArg/
+// EnqueueArg handlers become reachable from the function that registers
+// them). Calls through interfaces and through stored function values are
+// not resolved; hot-path roots must be annotated on the concrete
+// implementations (DESIGN.md "Ownership rules").
+//
+// Functions are keyed by a stable identifier (FuncID) rather than by
+// *types.Func identity, because each analyzed package is type-checked
+// against the pure dependency views of its imports: the same method is a
+// different object in its defining package and at a cross-package call
+// site.
+type Program struct {
+	Pkgs []*Package
+
+	built bool
+	funcs map[string]*progFunc
+	memo  map[string]any
+}
+
+type progFunc struct {
+	id      string
+	display string
+	pkg     *Package
+	decl    *ast.FuncDecl
+	callees []string
+
+	annots  map[string]bool // directive verbs from the doc comment
+	hot     bool
+	hotRoot string // display name of the //simlint:hotpath root that reaches it
+}
+
+// NewProgram wraps the packages of one Run. The call graph is built
+// lazily on first query.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{Pkgs: pkgs, memo: make(map[string]any)}
+}
+
+// FuncID returns the stable whole-program identifier of a declared
+// function or method: "pkg/path.Name" or "pkg/path.(Recv).Name". It is
+// "" for builtins and other functions without a package. IDs are
+// identical across the analyzed and dependency views of a package, so
+// analyzers can correlate call sites with declarations.
+func FuncID(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "" // methods on unnamed receivers don't occur here
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return ""
+		}
+		return obj.Pkg().Path() + ".(" + obj.Name() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func (p *Program) build() {
+	if p.built {
+		return
+	}
+	p.built = true
+	p.funcs = make(map[string]*progFunc)
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				id := FuncID(fn)
+				if id == "" {
+					continue
+				}
+				if _, exists := p.funcs[id]; exists {
+					continue // keep the first (analyzed) variant
+				}
+				node := &progFunc{
+					id:      id,
+					display: declDisplayName(fd),
+					pkg:     pkg,
+					decl:    fd,
+					annots:  docDirectives(fd),
+				}
+				node.callees = referencedFuncs(pkg, fd)
+				p.funcs[id] = node
+			}
+		}
+	}
+	p.propagateHot()
+}
+
+// docDirectives collects the `//simlint:<verb>` lines of a declaration's
+// doc comment.
+func docDirectives(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if fd.Doc == nil {
+		return out
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directivePrefix) {
+			verb, _, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
+			out[verb] = true
+		}
+	}
+	return out
+}
+
+// referencedFuncs returns the sorted IDs of every declared function the
+// body references (called or passed as a value).
+func referencedFuncs(pkg *Package, fd *ast.FuncDecl) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkg.TypesInfo.Uses[id].(*types.Func); ok {
+			if fid := FuncID(fn); fid != "" {
+				seen[fid] = true
+			}
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// propagateHot marks every function reachable from a //simlint:hotpath
+// root, recording for diagnostics which root reaches it. Deterministic:
+// roots are visited in sorted ID order, BFS is FIFO, first mark wins.
+func (p *Program) propagateHot() {
+	var roots []string
+	for id, f := range p.funcs {
+		if f.annots["hotpath"] {
+			roots = append(roots, id)
+		}
+	}
+	sort.Strings(roots)
+	var queue []*progFunc
+	for _, id := range roots {
+		f := p.funcs[id]
+		f.hot = true
+		f.hotRoot = f.display
+		queue = append(queue, f)
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, cid := range f.callees {
+			c, ok := p.funcs[cid]
+			if !ok || c.hot {
+				continue
+			}
+			c.hot = true
+			c.hotRoot = f.hotRoot
+			queue = append(queue, c)
+		}
+	}
+}
+
+// Hot reports whether fn is on the hot path — annotated //simlint:hotpath
+// or reachable from an annotated root through the call graph — and the
+// display name of the root that reaches it.
+func (p *Program) Hot(fn *types.Func) (root string, ok bool) {
+	p.build()
+	f, found := p.funcs[FuncID(fn)]
+	if !found || !f.hot {
+		return "", false
+	}
+	return f.hotRoot, true
+}
+
+// FuncAnnotated reports whether the declaration of fn carries the given
+// `//simlint:<verb>` doc-comment directive (e.g. "acquire", "release").
+// It resolves across package views, so a call site in another package
+// sees the annotation.
+func (p *Program) FuncAnnotated(fn *types.Func, verb string) bool {
+	p.build()
+	f, ok := p.funcs[FuncID(fn)]
+	return ok && f.annots[verb]
+}
+
+// Reachable returns the set of function IDs reachable from fn (inclusive)
+// through the call graph.
+func (p *Program) Reachable(fn *types.Func) map[string]bool {
+	p.build()
+	out := make(map[string]bool)
+	start := FuncID(fn)
+	if _, ok := p.funcs[start]; !ok {
+		return out
+	}
+	queue := []string{start}
+	out[start] = true
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		f, ok := p.funcs[id]
+		if !ok {
+			continue
+		}
+		for _, cid := range f.callees {
+			if !out[cid] {
+				out[cid] = true
+				queue = append(queue, cid)
+			}
+		}
+	}
+	return out
+}
+
+// Memo caches a whole-program computation across passes (analyzers run
+// once per package; module-wide facts like "which types own slab state"
+// are built once and shared).
+func (p *Program) Memo(key string, build func() any) any {
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := build()
+	p.memo[key] = v
+	return v
+}

@@ -1,0 +1,352 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the intraprocedural control-flow graph of one function body,
+// built syntactically over go/ast. Blocks hold statements (and the
+// control expressions of compound statements) in execution order; edges
+// are the possible successors.
+//
+// Two synthetic sinks close the graph:
+//
+//   - Exit is reached by every normal completion — explicit returns and
+//     falling off the end of the body — *after* the deferred-call block,
+//     so `defer pool.Put(x)` counts as a release on every normal path.
+//   - PanicExit is reached by explicit `panic(...)` statements. Panicking
+//     paths are deliberately kept apart so ownership analyses can exempt
+//     them (a function that panics on a corrupt record does not leak it).
+//
+// Deferred calls are approximated in the standard flow-insensitive way:
+// every `defer f(...)` seen anywhere in the body contributes its call, in
+// reverse registration order, to a single pre-exit block crossed by all
+// normal completions. Deferred calls are not replayed on panic paths
+// (PanicExit is exempt from ownership checks anyway). The builder
+// supports the full goto-free statement language — if/else, for, range,
+// switch, type switch (with per-case bindings), select, labeled
+// break/continue, fallthrough, defer, panic; `goto` makes BuildCFG
+// return nil and the function is skipped by CFG-based analyzers.
+type CFG struct {
+	Blocks    []*Block
+	Entry     *Block
+	Exit      *Block
+	PanicExit *Block
+}
+
+// Block is one straight-line run of nodes with its successor edges.
+//
+// Node granularity: plain statements appear whole. Compound statements
+// contribute only the parts that execute at that point — an IfStmt its
+// Cond, a ForStmt its Cond and Post, an expression-switch its Tag and
+// case expressions. Two composites appear as themselves and analyzers
+// must not descend into their nested bodies when processing block nodes:
+// *ast.RangeStmt (its X/Key/Value execute at the loop head) and
+// *ast.CaseClause of a type switch (the per-case binding lives in
+// types.Info.Implicits keyed by the clause).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// BuildCFG constructs the CFG for a function body. It returns nil when
+// the body uses a construct the builder does not model (goto); callers
+// must skip such functions.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.PanicExit = b.newBlock()
+	b.preExit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	b.linkTo(b.preExit)
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.preExit.Nodes = append(b.preExit.Nodes, b.defers[i])
+	}
+	b.edge(b.preExit, b.cfg.Exit)
+	if b.bad {
+		return nil
+	}
+	return b.cfg
+}
+
+// branchTarget is one enclosing breakable/continuable construct.
+type branchTarget struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block // current block; nodes append here
+	preExit *Block // deferred calls, then Exit
+
+	defers        []ast.Node // deferred *ast.CallExprs in registration order
+	targets       []branchTarget
+	pendingLabel  string // label awaiting its for/range/switch/select
+	fallthroughTo *Block // next case body while emitting a switch case
+	bad           bool   // unsupported construct (goto) seen
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+// linkTo adds an edge from the current block to dst; the current block
+// stays current.
+func (b *cfgBuilder) linkTo(dst *Block) { b.edge(b.cur, dst) }
+
+// terminate ends the current block (after a return/panic/break/...) and
+// starts a fresh, unreachable one for any dead code that follows.
+func (b *cfgBuilder) terminate() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// takeLabel consumes the pending label for a labeled loop/switch/select.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) push(t branchTarget) { b.targets = append(b.targets, t) }
+func (b *cfgBuilder) pop()                { b.targets = b.targets[:len(b.targets)-1] }
+
+// isPanicCall recognizes the builtin panic syntactically; the repository
+// never shadows it.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	if _, ok := s.(*ast.LabeledStmt); !ok {
+		defer func() { b.pendingLabel = "" }()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.linkTo(join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.linkTo(join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.linkTo(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		done := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.push(branchTarget{label: label, brk: done, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		if post != nil {
+			b.linkTo(post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.linkTo(head)
+		} else {
+			b.linkTo(head)
+		}
+		b.cur = done
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.linkTo(head)
+		b.cur = head
+		b.add(s) // X/Key/Value execute here; analyzers must not descend into Body
+		body := b.newBlock()
+		done := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, done)
+		b.push(branchTarget{label: label, brk: done, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		b.linkTo(head)
+		b.cur = done
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, false)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.stmt(s.Assign) // evaluates the asserted operand; binding is per-case
+		b.switchBody(s.Body, label, true)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		done := b.newBlock()
+		b.push(branchTarget{label: label, brk: done})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			b.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.linkTo(done)
+		}
+		b.pop()
+		b.cur = done
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.linkTo(b.preExit)
+		b.terminate()
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.bad = true
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.linkTo(b.fallthroughTo)
+			}
+			b.terminate()
+		case token.BREAK:
+			if t := b.findTarget(s, false); t != nil {
+				b.linkTo(t.brk)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := b.findTarget(s, true); t != nil {
+				b.linkTo(t.cont)
+			}
+			b.terminate()
+		}
+	case *ast.DeferStmt:
+		// The call runs in the pre-exit block; argument evaluation at the
+		// registration point is not modeled (the repo defers no calls whose
+		// arguments have ownership effects).
+		b.defers = append(b.defers, s.Call)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			b.add(s.X)
+			b.linkTo(b.cfg.PanicExit)
+			b.terminate()
+			return
+		}
+		b.add(s.X)
+	case *ast.EmptyStmt:
+	default:
+		// Assign, Decl, IncDec, Send, Go: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchBody emits the case clauses of an (expression or type) switch.
+// All case-body blocks are successors of the head: case expressions have
+// no side effects the analyzers track, so order of evaluation between
+// cases is not modeled.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, typeSwitch bool) {
+	head := b.cur
+	done := b.newBlock()
+	b.push(branchTarget{label: label, brk: done})
+	clauses := body.List
+	blks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blks[i] = b.newBlock()
+	}
+	hasDefault := false
+	savedFT := b.fallthroughTo
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blks[i])
+		b.cur = blks[i]
+		if typeSwitch {
+			b.add(cc) // carries the per-case binding via Implicits
+		} else {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		}
+		if i+1 < len(clauses) {
+			b.fallthroughTo = blks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.linkTo(done)
+	}
+	b.fallthroughTo = savedFT
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(head, done)
+	}
+	b.pop()
+	b.cur = done
+}
+
+// findTarget resolves a break/continue to its enclosing construct.
+func (b *cfgBuilder) findTarget(s *ast.BranchStmt, needCont bool) *branchTarget {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}

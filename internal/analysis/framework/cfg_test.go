@@ -1,0 +1,370 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses `body` as the body of a function and builds its CFG.
+func parseFunc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// calls is the set-of-called-function-names fact used to probe the CFG:
+// the transfer function records every `name()` call it crosses, so the
+// fact at Exit tells which calls lie on which paths.
+type calls map[string]bool
+
+func callsTransfer(in calls, n ast.Node) calls {
+	// Honor the Block node-granularity contract: a RangeStmt node stands
+	// for its X/Key/Value only, a type-switch CaseClause for its binding —
+	// their nested bodies appear as separate block nodes.
+	roots := []ast.Node{n}
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		roots = roots[:0]
+		for _, e := range []ast.Expr{n.X, n.Key, n.Value} {
+			if e != nil {
+				roots = append(roots, e)
+			}
+		}
+	case *ast.CaseClause:
+		roots = roots[:0]
+		for _, e := range n.List {
+			roots = append(roots, e)
+		}
+	}
+	var names []string
+	for _, r := range roots {
+		ast.Inspect(r, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					names = append(names, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	if len(names) == 0 {
+		return in
+	}
+	out := make(calls, len(in)+len(names))
+	for k := range in {
+		out[k] = true
+	}
+	for _, nm := range names {
+		out[nm] = true
+	}
+	return out
+}
+
+func callsEqual(a, b calls) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func callsUnion(a, b calls) calls {
+	out := make(calls, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func callsIntersect(a, b calls) calls {
+	out := make(calls)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func sortedNames(c calls) string {
+	var out []string
+	for k := range c {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+// exitFacts runs both the may (union) and must (intersection) analyses
+// and returns the fact at the entry of Exit: may = calls on at least one
+// normal path, must = calls on every normal path.
+func exitFacts(t *testing.T, cfg *CFG) (may, must string) {
+	t.Helper()
+	if cfg == nil {
+		t.Fatal("BuildCFG returned nil for supported code")
+	}
+	mayRes := Forward(cfg, calls{}, callsTransfer, callsUnion, callsEqual)
+	mustRes := Forward(cfg, calls{}, callsTransfer, callsIntersect, callsEqual)
+	if !mayRes.Reached[cfg.Exit.Index] {
+		t.Fatal("Exit unreachable")
+	}
+	return sortedNames(mayRes.In[cfg.Exit.Index]), sortedNames(mustRes.In[cfg.Exit.Index])
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg := parseFunc(t, `
+	if c() {
+		a()
+	} else {
+		b()
+	}
+	d()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d" {
+		t.Errorf("may = %q, want %q", may, "a b c d")
+	}
+	if must != "c d" { // a and b each lie on only one branch
+		t.Errorf("must = %q, want %q", must, "c d")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	cfg := parseFunc(t, `
+	if c() {
+		return
+	}
+	a()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a c" {
+		t.Errorf("may = %q, want %q", may, "a c")
+	}
+	if must != "c" { // the early return skips a()
+		t.Errorf("must = %q, want %q", must, "c")
+	}
+}
+
+func TestCFGPanicPathExcluded(t *testing.T) {
+	// The panic branch flows to PanicExit, not Exit, so a() is on every
+	// normal path — the property poolleak's comma-ok assertions rely on.
+	cfg := parseFunc(t, `
+	if !c() {
+		panic("bad")
+	}
+	a()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a c" {
+		t.Errorf("may = %q, want %q", may, "a c")
+	}
+	if must != "a c" {
+		t.Errorf("must = %q, want %q", must, "a c")
+	}
+	res := Forward(cfg, calls{}, callsTransfer, callsUnion, callsEqual)
+	if !res.Reached[cfg.PanicExit.Index] {
+		t.Error("PanicExit should be reachable")
+	}
+}
+
+func TestCFGDeferRunsBeforeExit(t *testing.T) {
+	cfg := parseFunc(t, `
+	defer a()
+	if c() {
+		return
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c" {
+		t.Errorf("may = %q, want %q", may, "a b c")
+	}
+	if must != "a c" { // defer covers both the early return and the fall-through
+		t.Errorf("must = %q, want %q", must, "a c")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := parseFunc(t, `
+	for i := 0; c(); i++ {
+		a()
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c" {
+		t.Errorf("may = %q, want %q", may, "a b c")
+	}
+	if must != "b c" { // zero-iteration path skips a()
+		t.Errorf("must = %q, want %q", must, "b c")
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	cfg := parseFunc(t, `
+	for {
+		if c() {
+			continue
+		}
+		if d() {
+			break
+		}
+		a()
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d" {
+		t.Errorf("may = %q, want %q", may, "a b c d")
+	}
+	// The only way out is the break, which passes c() and d() but can
+	// skip a() (break fires before it) — and always reaches b().
+	if must != "b c d" {
+		t.Errorf("must = %q, want %q", must, "b c d")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := parseFunc(t, `
+outer:
+	for c() {
+		for d() {
+			if e() {
+				break outer
+			}
+			a()
+		}
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d e" {
+		t.Errorf("may = %q, want %q", may, "a b c d e")
+	}
+	if must != "b c" { // can exit via outer condition without entering inner loop
+		t.Errorf("must = %q, want %q", must, "b c")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	cfg := parseFunc(t, `
+	for range c() {
+		a()
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c" {
+		t.Errorf("may = %q, want %q", may, "a b c")
+	}
+	if must != "b c" { // empty range skips the body
+		t.Errorf("must = %q, want %q", must, "b c")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	cfg := parseFunc(t, `
+	switch c() {
+	case 1:
+		a()
+	case 2:
+		return
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c" {
+		t.Errorf("may = %q, want %q", may, "a b c")
+	}
+	if must != "c" { // a() is case-1 only; the case-2 return path skips b()
+		t.Errorf("must = %q, want %q", must, "c")
+	}
+}
+
+func TestCFGSwitchDefaultFallthrough(t *testing.T) {
+	// With a default, the no-match path is gone; fallthrough chains case
+	// bodies. Every path calls c() and b(); d() only via default.
+	cfg := parseFunc(t, `
+	switch c() {
+	case 1:
+		a()
+		fallthrough
+	default:
+		d()
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d" {
+		t.Errorf("may = %q, want %q", may, "a b c d")
+	}
+	if must != "b c d" { // both paths cross d(): directly or via fallthrough
+		t.Errorf("must = %q, want %q", must, "b c d")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	cfg := parseFunc(t, `
+	switch v := c().(type) {
+	case int:
+		a()
+	default:
+		_ = v
+		b()
+	}
+	d()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d" {
+		t.Errorf("may = %q, want %q", may, "a b c d")
+	}
+	if must != "c d" {
+		t.Errorf("must = %q, want %q", must, "c d")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := parseFunc(t, `
+	select {
+	case <-c():
+		a()
+	case <-d():
+		b()
+	}
+	e()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d e" {
+		t.Errorf("may = %q, want %q", may, "a b c d e")
+	}
+	if must != "e" { // each arm runs only one of a/b, and only one comm expr is modeled as taken
+		t.Errorf("must = %q, want %q", must, "e")
+	}
+}
+
+func TestCFGGotoUnsupported(t *testing.T) {
+	cfg := parseFunc(t, `
+	goto done
+done:
+	a()`)
+	if cfg != nil {
+		t.Error("BuildCFG should return nil for goto")
+	}
+}
+
+func TestCFGInfiniteLoopExitUnreachable(t *testing.T) {
+	cfg := parseFunc(t, `
+	for {
+		a()
+	}`)
+	if cfg == nil {
+		t.Fatal("BuildCFG returned nil")
+	}
+	res := Forward(cfg, calls{}, callsTransfer, callsUnion, callsEqual)
+	if res.Reached[cfg.Exit.Index] {
+		t.Error("Exit should be unreachable for `for {}` with no break")
+	}
+}

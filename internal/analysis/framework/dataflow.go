@@ -1,0 +1,67 @@
+package framework
+
+import "go/ast"
+
+// FlowResult carries the fixpoint of a forward dataflow run: the fact at
+// the entry of every block (indexed by Block.Index) and whether the block
+// is reachable from Entry. Unreachable blocks keep the zero fact and
+// Reached=false; analyzers must skip them.
+type FlowResult[F any] struct {
+	In      []F
+	Reached []bool
+}
+
+// Forward runs a forward dataflow fixpoint over cfg with a worklist.
+//
+//   - entry is the fact at function entry.
+//   - transfer applies one block node's effect. It must treat the incoming
+//     fact as immutable (copy-on-write): facts are shared between blocks.
+//   - join merges the facts of two converging paths (set union for a may
+//     analysis, intersection for a must analysis). It must not mutate its
+//     arguments.
+//   - equal is the fixpoint test.
+//
+// Termination requires the usual lattice conditions: join monotone with
+// no infinite ascending chains (any finite powerset fact qualifies).
+// Analyzers report in a separate pass by replaying transfer over each
+// reached block from its In fact, so diagnostics are emitted exactly once
+// per site regardless of how many fixpoint iterations ran.
+func Forward[F any](cfg *CFG, entry F, transfer func(F, ast.Node) F, join func(F, F) F, equal func(F, F) bool) FlowResult[F] {
+	n := len(cfg.Blocks)
+	res := FlowResult[F]{In: make([]F, n), Reached: make([]bool, n)}
+	res.In[cfg.Entry.Index] = entry
+	res.Reached[cfg.Entry.Index] = true
+
+	inWork := make([]bool, n)
+	work := []int{cfg.Entry.Index}
+	inWork[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		out := res.In[i]
+		for _, nd := range cfg.Blocks[i].Nodes {
+			out = transfer(out, nd)
+		}
+		for _, s := range cfg.Blocks[i].Succs {
+			j := s.Index
+			changed := false
+			if !res.Reached[j] {
+				res.In[j] = out
+				res.Reached[j] = true
+				changed = true
+			} else {
+				merged := join(res.In[j], out)
+				if !equal(merged, res.In[j]) {
+					res.In[j] = merged
+					changed = true
+				}
+			}
+			if changed && !inWork[j] {
+				work = append(work, j)
+				inWork[j] = true
+			}
+		}
+	}
+	return res
+}

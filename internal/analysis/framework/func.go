@@ -1,0 +1,143 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncInfo is one analyzable function: a declared function/method
+// (Decl != nil) or a function literal (Lit != nil). Function literals are
+// reported as their own FuncInfo *and* remain part of their enclosing
+// declaration's body; analyzers that walk bodies should iterate only
+// Decl entries (plus Pass.InitExprs for package-level initializers),
+// while analyzers that treat every function as a unit — per-function CFG
+// or dataflow — iterate all entries.
+type FuncInfo struct {
+	Pass *Pass
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	File *ast.File
+
+	cfg      *CFG
+	cfgBuilt bool
+}
+
+// Body returns the function body (never nil; bodyless declarations are
+// not listed).
+func (f *FuncInfo) Body() *ast.BlockStmt {
+	if f.Decl != nil {
+		return f.Decl.Body
+	}
+	return f.Lit.Body
+}
+
+// Pos returns the function's position.
+func (f *FuncInfo) Pos() ast.Node {
+	if f.Decl != nil {
+		return f.Decl
+	}
+	return f.Lit
+}
+
+// Obj returns the *types.Func of a declared function, or nil for
+// literals.
+func (f *FuncInfo) Obj() *types.Func {
+	if f.Decl == nil {
+		return nil
+	}
+	fn, _ := f.Pass.TypesInfo.Defs[f.Decl.Name].(*types.Func)
+	return fn
+}
+
+// Name returns a display name: "f", "T.f", "(*T).f", or "function
+// literal" for anonymous functions.
+func (f *FuncInfo) Name() string {
+	if f.Decl == nil {
+		return "function literal"
+	}
+	return declDisplayName(f.Decl)
+}
+
+func declDisplayName(d *ast.FuncDecl) string {
+	name := d.Name.Name
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return name
+	}
+	t := d.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = ix.X
+	}
+	if ix, ok := t.(*ast.IndexListExpr); ok {
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return name
+	}
+	if ptr {
+		return "(*" + id.Name + ")." + name
+	}
+	return id.Name + "." + name
+}
+
+// CFG lazily builds (and caches) the function's control-flow graph. It
+// returns nil when the body uses an unsupported construct (goto); callers
+// skip such functions.
+func (f *FuncInfo) CFG() *CFG {
+	if !f.cfgBuilt {
+		f.cfg = BuildCFG(f.Body())
+		f.cfgBuilt = true
+	}
+	return f.cfg
+}
+
+// Functions returns every function in the package — declarations with
+// bodies and function literals — in source order, cached on the pass.
+func (p *Pass) Functions() []*FuncInfo {
+	if p.funcs != nil {
+		return p.funcs
+	}
+	p.funcs = []*FuncInfo{}
+	for _, file := range p.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					p.funcs = append(p.funcs, &FuncInfo{Pass: p, Decl: n, File: file})
+				}
+			case *ast.FuncLit:
+				p.funcs = append(p.funcs, &FuncInfo{Pass: p, Lit: n, File: file})
+			}
+			return true
+		})
+	}
+	return p.funcs
+}
+
+// InitExprs returns the initializer expressions of package-level var and
+// const declarations — the expressions that execute (or are folded)
+// outside any function body. Analyzers that must see every expression in
+// the package walk Functions' decl bodies plus these.
+func (p *Pass) InitExprs() []ast.Expr {
+	var out []ast.Expr
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+	}
+	return out
+}

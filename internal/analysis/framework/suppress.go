@@ -3,20 +3,25 @@ package framework
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // Directive is one `//simlint:<verb> <args>` comment. The grammar
-// (documented in DESIGN.md "Determinism rules"):
+// (documented in DESIGN.md "Determinism rules" / "Ownership rules"):
 //
 //	//simlint:allow <analyzer> -- <reason>   suppress one finding, with an audit trail
 //	//simlint:rank-handoff                   mark the audited AMPI thread handoff
+//	//simlint:hotpath                        doc comment: hot-path root for the call graph
+//	//simlint:acquire                        doc comment: function returns pooled/slab state
+//	//simlint:release                        doc comment: function releases pooled/slab state
 //
 // An allow directive covers findings of the named analyzer on its own line
 // (trailing comment) or on the line immediately below (comment above the
 // offending statement). A reason after " -- " is mandatory: a bare allow is
 // itself reported, so the repository can never accumulate unexplained
-// suppressions.
+// suppressions. The hotpath/acquire/release verbs annotate function
+// declarations and are consumed through Program (callgraph.go), not here.
 type Directive struct {
 	Pos  token.Position
 	Verb string // "allow", "rank-handoff", ...
@@ -42,6 +47,45 @@ func Directives(fset *token.FileSet, f *ast.File) []Directive {
 			})
 		}
 	}
+	return out
+}
+
+// Suppression is one audited `//simlint:allow` directive, as listed by
+// `simlint -audit`.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Suppressions lists every allow directive of the given packages in
+// position order, for the driver's audit mode. Malformed directives
+// (no reason) are included with an empty Reason — the normal lint run
+// already rejects them.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, d := range Directives(pkg.Fset, f) {
+				if d.Verb != "allow" {
+					continue
+				}
+				head, reason, _ := strings.Cut(d.Args, "--")
+				out = append(out, Suppression{
+					Pos:      d.Pos,
+					Analyzer: strings.TrimSpace(head),
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
 	return out
 }
 

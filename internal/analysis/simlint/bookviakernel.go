@@ -66,11 +66,8 @@ func runBookViaKernel(pass *framework.Pass) error {
 	if under(r, "internal/analysis") {
 		return nil
 	}
-	for _, f := range pass.Files {
-		if isTestFile(pass, f) {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
+	check := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -95,6 +92,17 @@ func runBookViaKernel(pass *framework.Pass) error {
 			}
 			return true
 		})
+	}
+	for _, fi := range pass.Functions() {
+		if fi.Decl == nil || isTestFile(pass, fi.Pos()) {
+			continue
+		}
+		check(fi.Decl)
+	}
+	for _, e := range pass.InitExprs() {
+		if !strings.HasSuffix(pass.File(e.Pos()), "_test.go") {
+			check(e)
+		}
 	}
 	return nil
 }

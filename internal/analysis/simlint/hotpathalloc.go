@@ -1,0 +1,184 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// HotPathAlloc keeps the per-message code allocation-free. Functions
+// annotated `//simlint:hotpath` are roots; everything they reach through
+// the call graph (direct calls and function values handed to the
+// closure-free dispatch helpers AtArg/ScheduleArg/EnqueueArg) is hot.
+// Inside a hot function the analyzer flags the constructs that allocate
+// per call: function literals (closures), make/new, escaping composite
+// literals (&T{...}, map and slice literals), map assignments, and
+// appends that do not write back into the slice they extend. Value
+// struct literals and method values are fine. Interface and stored-value
+// calls are not resolved — their concrete implementations carry their
+// own //simlint:hotpath annotation (DESIGN.md "Ownership rules").
+//
+// This is the static face of the fig9a allocs/op gate: the benchmark
+// proves the steady state allocation-free, this analyzer points at the
+// exact expression when a change regresses it.
+var HotPathAlloc = &framework.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocating constructs (closures, make/new, escaping composite " +
+		"literals, map writes, growing appends) in functions reachable from a " +
+		"//simlint:hotpath root",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	for _, fi := range pass.Functions() {
+		if fi.Decl == nil || isTestFile(pass, fi.Pos()) {
+			continue
+		}
+		root, hot := pass.Prog.Hot(fi.Obj())
+		if !hot {
+			continue
+		}
+		checkHotBody(pass, fi.Decl.Body, root)
+	}
+	return nil
+}
+
+func checkHotBody(pass *framework.Pass, body *ast.BlockStmt, root string) {
+	report := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(), "%s on the hot path (reachable from %s): "+
+			"pool or pre-size it off the per-message path", what, root)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure allocation")
+			return false // its body runs elsewhere; one finding suffices
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(n, "make")
+					case "new":
+						report(n, "new")
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					report(n, "escaping composite literal")
+					// Still descend: the literal's elements may allocate too,
+					// but don't double-report the literal itself.
+					for _, el := range cl.Elts {
+						checkHotExprTree(pass, el, report)
+					}
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.Types[n].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					report(n, "map literal")
+				case *types.Slice:
+					report(n, "slice literal")
+				}
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(pass, n, report)
+		}
+		return true
+	})
+}
+
+func checkHotExprTree(pass *framework.Pass, root ast.Expr, report func(ast.Node, string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			report(lit, "closure allocation")
+			return false
+		}
+		return true
+	})
+}
+
+func checkHotAssign(pass *framework.Pass, as *ast.AssignStmt, report func(ast.Node, string)) {
+	for _, l := range as.Lhs {
+		if ix, ok := l.(*ast.IndexExpr); ok {
+			if t := pass.TypesInfo.Types[ix.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(ix, "map assignment")
+				}
+			}
+		}
+	}
+	for i, r := range as.Rhs {
+		call, ok := r.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if len(call.Args) == 0 {
+			continue
+		}
+		// x = append(x, ...) extends in place once warmed up; appending into
+		// a different destination copies and grows every call.
+		if i < len(as.Lhs) && len(as.Lhs) == len(as.Rhs) && sameLValue(pass, as.Lhs[i], call.Args[0]) {
+			continue
+		}
+		report(call, "growing append")
+	}
+}
+
+// sameLValue reports structural equality of two assignable expressions:
+// identifiers by object, selector chains by field object, index
+// expressions and pointer derefs by their parts.
+func sameLValue(pass *framework.Pass, a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := pass.TypesInfo.ObjectOf(a)
+		bo := pass.TypesInfo.ObjectOf(bid)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ao := pass.TypesInfo.ObjectOf(a.Sel)
+		bo := pass.TypesInfo.ObjectOf(bs.Sel)
+		return ao != nil && ao == bo && sameLValue(pass, a.X, bs.X)
+	case *ast.IndexExpr:
+		bi, ok := b.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		return sameLValue(pass, a.X, bi.X) && sameLValue(pass, a.Index, bi.Index)
+	case *ast.StarExpr:
+		bstar, ok := b.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		return sameLValue(pass, a.X, bstar.X)
+	case *ast.ParenExpr:
+		return sameLValue(pass, a.X, b)
+	case *ast.BasicLit:
+		bl, ok := b.(*ast.BasicLit)
+		return ok && a.Value == bl.Value
+	}
+	return false
+}

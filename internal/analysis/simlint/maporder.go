@@ -54,18 +54,14 @@ func runMapOrder(pass *framework.Pass) error {
 	if strings.HasPrefix(rel(pass.PkgPath), "internal/analysis") {
 		return nil // host-side tooling, not simulation state
 	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					checkFuncMapOrder(pass, fn.Body, fn.Type)
-				}
-			case *ast.FuncLit:
-				checkFuncMapOrder(pass, fn.Body, fn.Type)
-			}
-			return true
-		})
+	// Every function unit — declarations and literals — independently; the
+	// shallow walkers below keep literals out of their enclosing body's scan.
+	for _, fi := range pass.Functions() {
+		if fi.Decl != nil {
+			checkFuncMapOrder(pass, fi.Decl.Body, fi.Decl.Type)
+		} else {
+			checkFuncMapOrder(pass, fi.Lit.Body, fi.Lit.Type)
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package simlint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"charmgo/internal/analysis/framework"
 )
@@ -34,11 +35,8 @@ func runNoGlobalRand(pass *framework.Pass) error {
 	if !simulationScope(pass.PkgPath) {
 		return nil
 	}
-	for _, f := range pass.Files {
-		if isTestFile(pass, f) {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
+	check := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -62,6 +60,17 @@ func runNoGlobalRand(pass *framework.Pass) error {
 					"*rand.Rand or sim.RNG threaded from the experiment config", sel.Sel.Name)
 			return true
 		})
+	}
+	for _, fi := range pass.Functions() {
+		if fi.Decl == nil || isTestFile(pass, fi.Pos()) {
+			continue
+		}
+		check(fi.Decl)
+	}
+	for _, e := range pass.InitExprs() {
+		if !strings.HasSuffix(pass.File(e.Pos()), "_test.go") {
+			check(e)
+		}
 	}
 	return nil
 }

@@ -32,30 +32,29 @@ func runNoGoroutine(pass *framework.Pass) error {
 		return nil
 	}
 	inAmpi := under(rel(pass.PkgPath), "internal/ampi")
+	// Lines carrying a statement-level rank-handoff annotation, per file.
+	annotated := make(map[*ast.File]map[int]bool)
 	for _, f := range pass.Files {
-		if isTestFile(pass, f) {
-			continue
-		}
-		// Lines carrying a statement-level rank-handoff annotation.
-		annotatedLines := make(map[int]bool)
+		lines := make(map[int]bool)
 		for _, d := range framework.Directives(pass.Fset, f) {
 			if d.Verb == "rank-handoff" {
-				annotatedLines[d.Pos.Line] = true
+				lines[d.Pos.Line] = true
 			}
 		}
+		annotated[f] = lines
+	}
+	for _, fi := range pass.Functions() {
+		if fi.Decl == nil || isTestFile(pass, fi.Pos()) {
+			continue // literals are checked within their enclosing declaration
+		}
+		lines := annotated[fi.File]
 		stmtAnnotated := func(n ast.Node) bool {
 			line := pass.Fset.Position(n.Pos()).Line
-			return annotatedLines[line] || annotatedLines[line-1]
+			return lines[line] || lines[line-1]
 		}
-
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			funcOK := inAmpi && (docAnnotated(fd) || stmtAnnotated(fd))
-			walkNoGoroutine(pass, fd.Body, inAmpi, funcOK, stmtAnnotated)
-		}
+		fd := fi.Decl
+		funcOK := inAmpi && (docAnnotated(fd) || stmtAnnotated(fd))
+		walkNoGoroutine(pass, fd.Body, inAmpi, funcOK, stmtAnnotated)
 	}
 	return nil
 }

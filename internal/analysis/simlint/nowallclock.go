@@ -2,6 +2,7 @@ package simlint
 
 import (
 	"go/ast"
+	"strings"
 
 	"charmgo/internal/analysis/framework"
 )
@@ -36,11 +37,8 @@ func runNoWallClock(pass *framework.Pass) error {
 	if !simulationScope(pass.PkgPath) {
 		return nil
 	}
-	for _, f := range pass.Files {
-		if isTestFile(pass, f) {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
+	check := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -52,6 +50,19 @@ func runNoWallClock(pass *framework.Pass) error {
 			}
 			return true
 		})
+	}
+	// Declared bodies cover nested literals; package-level initializers are
+	// the only expressions outside them.
+	for _, fi := range pass.Functions() {
+		if fi.Decl == nil || isTestFile(pass, fi.Pos()) {
+			continue
+		}
+		check(fi.Decl)
+	}
+	for _, e := range pass.InitExprs() {
+		if !strings.HasSuffix(pass.File(e.Pos()), "_test.go") {
+			check(e)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,569 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// This file is the shared ownership engine behind the poolleak and
+// useafterrelease analyzers: a forward dataflow over the framework CFG
+// tracking, per local variable, whether it *owns* a pooled value (must
+// release or transfer it), is *bound* to a pooled map entry (becomes
+// owning when the entry is deleted), or has been *released* (any further
+// use is a bug). DESIGN.md "Ownership rules" documents the vocabulary;
+// mem.FreeList / mem.SlabCache document the acquire/release surface.
+//
+// Acquire sites (variable becomes owned):
+//   - x := pool.Get()            for a mem.FreeList or mem.SlabCache
+//   - x := f(...)                where f is annotated //simlint:acquire
+//   - x := v.(*T) / case *T:     where *T is pooled in this package
+//     (T appears as a type argument of a mem.FreeList declared here)
+//   - p, ok := m[k]; delete(m,k) map lookup binds p to the entry; the
+//     delete makes p the sole owner (lookup without delete stays a borrow)
+//
+// Release sites: pool.Put(x) or a call annotated //simlint:release.
+//
+// Ownership transfers (obligation handed off): passing the variable as a
+// call argument, storing it into a field/map/slice/composite/global,
+// returning it, sending it on a channel, capturing it in a closure, or
+// taking its address. Panic paths are exempt (CFG routes them to
+// PanicExit).
+
+// Variable ownership state bits.
+const (
+	stBound    uint8 = 1 << iota // bound to a pooled-elem map entry
+	stOwned                      // owns a pooled value: must release or transfer
+	stReleased                   // released back to the pool: must not be used
+)
+
+// vstate is one variable's ownership fact. pos is the acquire site (or
+// the delete that promoted a bound entry to owned); rel the release site.
+type vstate struct {
+	bits uint8
+	pos  token.Pos
+	m    types.Object // map object the variable is bound to (stBound)
+	rel  token.Pos
+}
+
+// ownFact maps each tracked local to its state. Facts are treated as
+// immutable by the solver; the transfer function copies on first write.
+type ownFact map[*types.Var]vstate
+
+// ownEngine ties the transfer function to one pass's type information.
+type ownEngine struct {
+	pass   *framework.Pass
+	pooled map[*types.TypeName]bool
+}
+
+func newOwnEngine(pass *framework.Pass) *ownEngine {
+	return &ownEngine{pass: pass, pooled: pooledElems(pass)}
+}
+
+// pooledElems collects the element types T pooled through a
+// mem.FreeList[T] declared in this package (struct fields or package
+// vars): values of type *T circulate through Get/Put, so type assertions
+// and map entries of those types carry ownership.
+func pooledElems(pass *framework.Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	add := func(t types.Type) {
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "FreeList" ||
+			named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "mem" {
+			return
+		}
+		if args := named.TypeArgs(); args != nil && args.Len() == 1 {
+			if elem, ok := args.At(0).(*types.Named); ok {
+				out[elem.Obj()] = true
+			}
+		}
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.TypeName:
+			if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					add(st.Field(i).Type())
+				}
+			}
+		case *types.Var:
+			add(obj.Type())
+		}
+	}
+	return out
+}
+
+// pooledPtr reports whether t is *T for a T pooled in this package.
+func (e *ownEngine) pooledPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && e.pooled[named.Obj()]
+}
+
+// poolOp classifies a call's effect on ownership.
+type poolOp int
+
+const (
+	opNone    poolOp = iota
+	opAcquire        // FreeList/SlabCache Get, or //simlint:acquire
+	opRelease        // FreeList/SlabCache Put, or //simlint:release
+)
+
+// calleeOf resolves the declared function a call invokes (nil for
+// builtins, function values, and calls it cannot see through).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvNamed returns the named receiver type of a method (nil otherwise).
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func (e *ownEngine) classify(call *ast.CallExpr) poolOp {
+	fn := calleeOf(e.pass.TypesInfo, call)
+	if fn == nil {
+		return opNone
+	}
+	if recv := recvNamed(fn); recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Name() == "mem" {
+		switch recv.Obj().Name() {
+		case "FreeList", "SlabCache":
+			switch fn.Name() {
+			case "Get":
+				return opAcquire
+			case "Put":
+				return opRelease
+			}
+		}
+	}
+	if e.pass.Prog.FuncAnnotated(fn, "acquire") {
+		return opAcquire
+	}
+	if e.pass.Prog.FuncAnnotated(fn, "release") {
+		return opRelease
+	}
+	return opNone
+}
+
+// localVar resolves an assignment target to a trackable local variable
+// (nil for blank, fields, and non-identifier targets).
+func localVar(pass *framework.Pass, x ast.Expr) *types.Var {
+	id, ok := x.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// exprObj resolves a map expression (identifier or field selector) to a
+// stable object, so a lookup and a later delete on the same map correlate.
+func exprObj(pass *framework.Pass, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[x]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+// transfer is the dataflow transfer function over one CFG block node.
+func (e *ownEngine) transfer(in ownFact, n ast.Node) ownFact {
+	s := &ownScan{e: e, out: in}
+	s.node(n)
+	return s.out
+}
+
+func (e *ownEngine) join(a, b ownFact) ownFact {
+	out := make(ownFact, len(a)+len(b))
+	for v, st := range a {
+		out[v] = st
+	}
+	for v, st := range b {
+		if cur, ok := out[v]; ok {
+			out[v] = mergeState(cur, st)
+		} else {
+			out[v] = st
+		}
+	}
+	return out
+}
+
+// mergeState unions path states: bits OR, earliest positions win, the
+// established map binding wins. Monotone, so the fixpoint terminates.
+func mergeState(a, b vstate) vstate {
+	a.bits |= b.bits
+	if b.pos != token.NoPos && (a.pos == token.NoPos || b.pos < a.pos) {
+		a.pos = b.pos
+	}
+	if b.rel != token.NoPos && (a.rel == token.NoPos || b.rel < a.rel) {
+		a.rel = b.rel
+	}
+	if a.m == nil {
+		a.m = b.m
+	}
+	return a
+}
+
+func (e *ownEngine) equal(a, b ownFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, st := range a {
+		if b[v] != st {
+			return false
+		}
+	}
+	return true
+}
+
+// ownScan applies one node's ownership effects, copying the fact on the
+// first write.
+type ownScan struct {
+	e      *ownEngine
+	out    ownFact
+	cloned bool
+}
+
+func (s *ownScan) mutable() {
+	if s.cloned {
+		return
+	}
+	cp := make(ownFact, len(s.out)+1)
+	for k, v := range s.out {
+		cp[k] = v
+	}
+	s.out = cp
+	s.cloned = true
+}
+
+func (s *ownScan) set(v *types.Var, st vstate) {
+	if cur, ok := s.out[v]; ok && cur == st {
+		return
+	}
+	s.mutable()
+	s.out[v] = st
+}
+
+func (s *ownScan) drop(v *types.Var) {
+	if _, ok := s.out[v]; !ok {
+		return
+	}
+	s.mutable()
+	delete(s.out, v)
+}
+
+// consume transfers ownership out of v (call argument, store, return,
+// send, capture). The released marker survives: using a released value
+// anywhere stays a bug.
+func (s *ownScan) consume(v *types.Var) {
+	st, ok := s.out[v]
+	if !ok {
+		return
+	}
+	st.bits &^= stOwned | stBound
+	if st.bits == 0 {
+		s.drop(v)
+		return
+	}
+	s.set(v, st)
+}
+
+// node processes one CFG block node, honoring the block granularity
+// contract: a RangeStmt stands for its range operands, a type-switch
+// CaseClause for its per-case binding.
+func (s *ownScan) node(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		s.walk(n.X)
+	case *ast.CaseClause:
+		if v, ok := s.e.pass.TypesInfo.Implicits[n].(*types.Var); ok && s.e.pooledPtr(v.Type()) {
+			s.set(v, vstate{bits: stOwned, pos: n.Pos()})
+		}
+	default:
+		s.walk(n)
+	}
+}
+
+// walk descends a node, handling every ownership-relevant construct and
+// recursing generically through the rest.
+func (s *ownScan) walk(root ast.Node) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			s.assign(n)
+			return false
+		case *ast.ValueSpec:
+			s.valueSpec(n)
+			return false
+		case *ast.CallExpr:
+			s.call(n)
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				s.consumeOrWalk(r)
+			}
+			return false
+		case *ast.SendStmt:
+			s.walk(n.Chan)
+			s.consumeOrWalk(n.Value)
+			return false
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					s.consumeOrWalk(kv.Value)
+				} else {
+					s.consumeOrWalk(el)
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				s.consumeOrWalk(n.X)
+				return false
+			}
+		case *ast.FuncLit:
+			s.captures(n)
+			return false
+		}
+		return true
+	})
+}
+
+// consumeOrWalk treats a bare tracked identifier as an ownership
+// transfer; anything else is scanned for nested effects.
+func (s *ownScan) consumeOrWalk(x ast.Expr) {
+	if id, ok := x.(*ast.Ident); ok {
+		if v, ok := s.e.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			s.consume(v)
+			return
+		}
+	}
+	s.walk(x)
+}
+
+func (s *ownScan) assign(n *ast.AssignStmt) {
+	switch {
+	case len(n.Lhs) == len(n.Rhs):
+		for i := range n.Rhs {
+			s.assignPair(n.Lhs[i], n.Rhs[i])
+		}
+	case len(n.Rhs) == 1:
+		// Multi-value form: comma-ok acquires bind Lhs[0]; the extra
+		// targets (ok / multi-return results) are plain overwrites.
+		s.assignPair(n.Lhs[0], n.Rhs[0])
+		for _, l := range n.Lhs[1:] {
+			if v := localVar(s.e.pass, l); v != nil {
+				s.drop(v)
+			}
+		}
+	}
+}
+
+func (s *ownScan) valueSpec(n *ast.ValueSpec) {
+	if len(n.Values) == len(n.Names) {
+		for i := range n.Values {
+			s.assignPair(n.Names[i], n.Values[i])
+		}
+		return
+	}
+	if len(n.Values) == 1 && len(n.Names) > 1 {
+		s.assignPair(n.Names[0], n.Values[0])
+	}
+}
+
+func (s *ownScan) assignPair(lhs, rhs ast.Expr) {
+	if st, ok := s.acquire(rhs); ok {
+		if v := localVar(s.e.pass, lhs); v != nil {
+			s.set(v, st)
+			return
+		}
+		// Acquire stored straight into a field/map/slice: ownership lives
+		// in the containing object (closechain's domain, not a leak here).
+		s.walk(lhs)
+		return
+	}
+	s.consumeOrWalk(rhs)
+	if v := localVar(s.e.pass, lhs); v != nil {
+		s.drop(v) // rebinding replaces whatever the variable held
+		return
+	}
+	s.walk(lhs)
+}
+
+// acquire classifies an assignment RHS as an ownership source.
+func (s *ownScan) acquire(rhs ast.Expr) (vstate, bool) {
+	switch rhs := rhs.(type) {
+	case *ast.CallExpr:
+		if s.e.classify(rhs) == opAcquire {
+			s.walk(rhs.Fun)
+			for _, a := range rhs.Args {
+				s.walk(a)
+			}
+			return vstate{bits: stOwned, pos: rhs.Pos()}, true
+		}
+	case *ast.TypeAssertExpr:
+		if rhs.Type == nil { // x.(type) inside a type switch: per-case binding
+			return vstate{}, false
+		}
+		if s.e.pooledPtr(s.e.pass.TypesInfo.Types[rhs.Type].Type) {
+			return vstate{bits: stOwned, pos: rhs.Pos()}, true
+		}
+	case *ast.IndexExpr:
+		t := s.e.pass.TypesInfo.Types[rhs.X].Type
+		if t == nil {
+			return vstate{}, false
+		}
+		if mt, ok := t.Underlying().(*types.Map); ok && s.e.pooledPtr(mt.Elem()) {
+			if mObj := exprObj(s.e.pass, rhs.X); mObj != nil {
+				return vstate{bits: stBound, pos: rhs.Pos(), m: mObj}, true
+			}
+		}
+	}
+	return vstate{}, false
+}
+
+func (s *ownScan) call(n *ast.CallExpr) {
+	if id, ok := n.Fun.(*ast.Ident); ok {
+		if b, ok := s.e.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "delete" && len(n.Args) == 2 {
+				s.walk(n.Args[1])
+				if mObj := exprObj(s.e.pass, n.Args[0]); mObj != nil {
+					s.activateBound(mObj, n.Pos())
+				}
+				return
+			}
+			// Other builtins (append, panic, print...) consume pooled
+			// arguments like ordinary calls; len/cap cannot take one.
+			for _, a := range n.Args {
+				s.consumeOrWalk(a)
+			}
+			return
+		}
+	}
+	op := s.e.classify(n)
+	s.walk(n.Fun)
+	for _, a := range n.Args {
+		if op == opRelease {
+			s.release(a, n.Pos())
+			continue
+		}
+		s.consumeOrWalk(a)
+	}
+}
+
+func (s *ownScan) release(a ast.Expr, pos token.Pos) {
+	if id, ok := a.(*ast.Ident); ok {
+		if v, ok := s.e.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if st, tracked := s.out[v]; tracked {
+				st.bits = stReleased
+				st.rel = pos
+				s.set(v, st)
+				return
+			}
+		}
+	}
+	s.walk(a)
+}
+
+// activateBound promotes every variable bound to m into sole ownership:
+// the map entry is gone, so the pointer the lookup returned must now be
+// released or transferred.
+func (s *ownScan) activateBound(m types.Object, pos token.Pos) {
+	var promote []*types.Var
+	for v, st := range s.out {
+		if st.bits&stBound != 0 && st.m == m {
+			promote = append(promote, v)
+		}
+	}
+	for _, v := range promote {
+		st := s.out[v]
+		st.bits = st.bits&^stBound | stOwned
+		st.pos = pos
+		s.set(v, st)
+	}
+}
+
+// captures consumes every tracked variable a function literal closes
+// over: the closure may keep or release it at any later time.
+func (s *ownScan) captures(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := s.e.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				s.consume(v)
+			}
+		}
+		return true
+	})
+}
+
+// solve runs the ownership dataflow over one function, returning the
+// engine and flow result (nil engine when the function is skipped).
+func solveOwnership(pass *framework.Pass, fi *framework.FuncInfo) (*ownEngine, *framework.FlowResult[ownFact], *framework.CFG) {
+	cfg := fi.CFG()
+	if cfg == nil {
+		return nil, nil, nil
+	}
+	e := newOwnEngine(pass)
+	res := framework.Forward(cfg, ownFact{}, e.transfer, e.join, e.equal)
+	return e, &res, cfg
+}
+
+// sortedStates returns a fact's entries ordered by acquire position, for
+// deterministic reporting.
+func sortedStates(f ownFact) []*types.Var {
+	vars := make([]*types.Var, 0, len(f))
+	for v := range f {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		a, b := f[vars[i]], f[vars[j]]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return vars[i].Name() < vars[j].Name()
+	})
+	return vars
+}

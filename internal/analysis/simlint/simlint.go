@@ -20,7 +20,9 @@ import (
 	"charmgo/internal/analysis/framework"
 )
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five determinism
+// analyzers from PR 2, then the four ownership analyzers built on the
+// CFG/dataflow engine (framework/cfg.go, dataflow.go, callgraph.go).
 func Analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		NoWallClock,
@@ -28,6 +30,10 @@ func Analyzers() []*framework.Analyzer {
 		MapOrder,
 		NoGoroutine,
 		BookViaKernel,
+		PoolLeak,
+		UseAfterRelease,
+		HotPathAlloc,
+		CloseChain,
 	}
 }
 

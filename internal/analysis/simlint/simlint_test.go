@@ -37,6 +37,26 @@ func TestBookViaKernel(t *testing.T) {
 		"charmgo/internal/charm", "charmgo/internal/gemini")
 }
 
+func TestPoolLeak(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("poolleak"), PoolLeak,
+		"charmgo/internal/demo")
+}
+
+func TestUseAfterRelease(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("useafterrelease"), UseAfterRelease,
+		"charmgo/internal/demo")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("hotpathalloc"), HotPathAlloc,
+		"charmgo/internal/demo")
+}
+
+func TestCloseChain(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("closechain"), CloseChain,
+		"charmgo/internal/demo")
+}
+
 // TestScope pins the package-scope helpers the analyzers share.
 func TestScope(t *testing.T) {
 	cases := []struct {

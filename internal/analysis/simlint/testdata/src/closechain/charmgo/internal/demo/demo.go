@@ -1,0 +1,97 @@
+// Package demo seeds closechain fixtures: slab acquires stored in struct
+// fields (Rule A) and constructed Close-bearing sub-resources (Rule B)
+// that the owner's Close chain fails to release.
+package demo
+
+import "charmgo/internal/mem"
+
+var slabs mem.SlabCache[int]
+
+// Good releases its slab on Close: clean.
+type Good struct {
+	buf []int
+}
+
+func NewGood(n int) *Good {
+	return &Good{buf: slabs.Get(n)}
+}
+
+func (g *Good) Close() { slabs.Put(g.buf) }
+
+// Helper releases through a function reachable from Close: clean.
+type Helper struct {
+	buf []int
+}
+
+func NewHelper(n int) *Helper {
+	h := &Helper{}
+	h.buf = slabs.Get(n)
+	return h
+}
+
+func (h *Helper) Close() { h.teardown() }
+
+func (h *Helper) teardown() { slabs.Put(h.buf) }
+
+// Leaky has a Close that forgets the slab.
+type Leaky struct {
+	buf []int
+}
+
+func NewLeaky(n int) *Leaky {
+	l := &Leaky{}
+	l.buf = slabs.Get(n) // want `slab stored in Leaky.buf is never released`
+	return l
+}
+
+func (l *Leaky) Close() {}
+
+// NoClose acquires construction state but has no Close at all.
+type NoClose struct {
+	buf []int
+}
+
+func NewNoClose(n int) *NoClose {
+	return &NoClose{buf: slabs.Get(n)} // want `NoClose.buf acquires construction state here but NoClose has no Close`
+}
+
+// Sub is a closeable sub-resource for the Rule B cases.
+type Sub struct {
+	buf []int
+}
+
+func NewSub(n int) *Sub { return &Sub{} }
+
+func (s *Sub) Close() {}
+
+// Owner constructs a Sub but never closes it.
+type Owner struct {
+	sub *Sub
+}
+
+func NewOwner(n int) *Owner {
+	return &Owner{sub: NewSub(n)} // want `Owner.sub is constructed by Owner but its Close is not reachable from Owner.Close`
+}
+
+func (o *Owner) Close() {}
+
+// GoodOwner closes what it constructs: clean.
+type GoodOwner struct {
+	sub *Sub
+}
+
+func NewGoodOwner(n int) *GoodOwner {
+	return &GoodOwner{sub: NewSub(n)}
+}
+
+func (o *GoodOwner) Close() { o.sub.Close() }
+
+// Borrower stores a Sub it did not construct: no obligation, the lender
+// closes it (how "the network outlives the machine" stays legal).
+type Borrower struct {
+	sub *Sub
+}
+
+func NewBorrower(s *Sub) *Borrower {
+	return &Borrower{sub: s}
+}

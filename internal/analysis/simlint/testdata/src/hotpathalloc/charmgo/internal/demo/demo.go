@@ -1,0 +1,58 @@
+// Package demo seeds hotpathalloc fixtures: per-message allocations in
+// functions reachable from a //simlint:hotpath root, with cold twins that
+// must stay silent.
+package demo
+
+type point struct {
+	x, y int
+}
+
+type state struct {
+	table map[int]int
+	buf   []int
+	fn    func()
+}
+
+// deliver is the fixture's hot root; handle is reachable from it.
+//
+//simlint:hotpath
+func deliver(s *state, n int) {
+	handle(s, n)
+}
+
+func handle(s *state, n int) {
+	m := make([]int, n) // want `make on the hot path \(reachable from deliver\)`
+	_ = m
+	p := new(point) // want `new on the hot path`
+	_ = p
+	s.fn = func() {} // want `closure allocation on the hot path`
+	q := &point{x: n} // want `escaping composite literal on the hot path`
+	_ = q
+	lit := map[int]int{n: n} // want `map literal on the hot path`
+	_ = lit
+	sl := []int{n} // want `slice literal on the hot path`
+	_ = sl
+	s.table[n] = n // want `map assignment on the hot path`
+	s.buf = append(s.buf, n) // self-append reuses the backing array: clean
+	grown := append(s.buf, n) // want `growing append on the hot path`
+	_ = grown
+}
+
+// suppressed shows the audited escape hatch.
+//
+//simlint:hotpath
+func suppressed(n int) int {
+	//simlint:allow hotpathalloc -- fixture: amortized growth, audited
+	m := make([]int, n)
+	return len(m)
+}
+
+// cold is not reachable from any hot root: identical allocations stay
+// silent.
+func cold(s *state, n int) {
+	m := make([]int, n)
+	_ = m
+	s.table[n] = n
+	grown := append(s.buf, n)
+	_ = grown
+}

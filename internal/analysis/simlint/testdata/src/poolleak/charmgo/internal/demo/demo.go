@@ -1,0 +1,108 @@
+// Package demo seeds poolleak fixtures: each want line marks a pooled
+// record that escapes neither through Put nor through an ownership
+// transfer on some path to return.
+package demo
+
+import "charmgo/internal/mem"
+
+// rec is the pooled record type; pool at package scope is what makes
+// *rec a pooled pointer for the analyzer (pooledElems).
+type rec struct {
+	id   int
+	next *rec
+}
+
+var pool mem.FreeList[rec]
+
+// pending is a pooled-element map: lookups bind, delete transfers
+// ownership to the looked-up variable.
+var pending = map[int]*rec{}
+
+func sink(*rec) {}
+
+// leakEarlyReturn drops the record on the error path.
+func leakEarlyReturn(fail bool) {
+	r := pool.Get() // want `pooled value r may leak`
+	if fail {
+		return
+	}
+	pool.Put(r)
+}
+
+// releaseBothPaths is clean: every path releases.
+func releaseBothPaths(fail bool) {
+	r := pool.Get()
+	if fail {
+		pool.Put(r)
+		return
+	}
+	pool.Put(r)
+}
+
+// transferReturn is clean: returning the record transfers ownership to
+// the caller.
+func transferReturn() *rec {
+	r := pool.Get()
+	return r
+}
+
+// transferStore is clean: storing into the map transfers ownership.
+func transferStore(id int) {
+	r := pool.Get()
+	pending[id] = r
+}
+
+// transferCall is clean: passing the record to a call transfers it.
+func transferCall() {
+	r := pool.Get()
+	sink(r)
+}
+
+// lookupWithoutDelete is clean: a map lookup only borrows the record;
+// ownership stays with the map until delete.
+func lookupWithoutDelete(id int) int {
+	r := pending[id]
+	return r.id
+}
+
+// deleteThenDrop removes the record from the map (taking ownership) and
+// then loses it.
+func deleteThenDrop(id int) int {
+	r := pending[id]
+	delete(pending, id) // want `pooled value r may leak`
+	return r.id
+}
+
+// deleteThenPut is clean: delete takes ownership, Put releases it.
+func deleteThenPut(id int) int {
+	r := pending[id]
+	delete(pending, id)
+	n := r.id
+	pool.Put(r)
+	return n
+}
+
+// alloc is an annotated acquire wrapper: its own return transfers the
+// record, and callers inherit the release obligation.
+//
+//simlint:acquire
+func alloc() *rec { return pool.Get() }
+
+// wrapperLeak leaks through the annotated wrapper on the error path.
+func wrapperLeak(fail bool) {
+	r := alloc() // want `pooled value r may leak`
+	if fail {
+		return
+	}
+	pool.Put(r)
+}
+
+// loopRelease is clean: the loop body releases what it acquires each
+// iteration.
+func loopRelease(n int) {
+	for i := 0; i < n; i++ {
+		r := pool.Get()
+		r.id = i
+		pool.Put(r)
+	}
+}

@@ -1,0 +1,63 @@
+// Package demo seeds useafterrelease fixtures: reads and re-releases of
+// a pooled record after Put returned it to its pool.
+package demo
+
+import "charmgo/internal/mem"
+
+type rec struct {
+	id int
+}
+
+var pool mem.FreeList[rec]
+
+func sink(*rec) {}
+
+// readAfterPut reads a field through the stale pointer.
+func readAfterPut() int {
+	r := pool.Get()
+	r.id = 7
+	pool.Put(r)
+	return r.id // want `use of pooled value r after it was released`
+}
+
+// doublePut releases the same record twice.
+func doublePut() {
+	r := pool.Get()
+	pool.Put(r)
+	pool.Put(r) // want `pooled value r released twice`
+}
+
+// passAfterPut hands the stale pointer to another function.
+func passAfterPut() {
+	r := pool.Get()
+	pool.Put(r)
+	sink(r) // want `use of pooled value r after it was released`
+}
+
+// captureBeforePut is clean: the needed field is copied out first.
+func captureBeforePut() int {
+	r := pool.Get()
+	n := r.id
+	pool.Put(r)
+	return n
+}
+
+// rebind is clean: after Put the variable is re-bound to a fresh record
+// before any use.
+func rebind() {
+	r := pool.Get()
+	pool.Put(r)
+	r = pool.Get()
+	r.id = 1
+	pool.Put(r)
+}
+
+// releaseInLoop is clean: each iteration's record is released before the
+// next acquire re-binds the variable.
+func releaseInLoop(n int) {
+	for i := 0; i < n; i++ {
+		r := pool.Get()
+		r.id = i
+		pool.Put(r)
+	}
+}

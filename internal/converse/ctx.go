@@ -56,6 +56,8 @@ func (c *Ctx) Send(dst, handler int, data any, size int) {
 
 // SendPrio is Send with an explicit scheduler priority (lower runs first;
 // the default priority is 0).
+//
+//simlint:hotpath
 func (c *Ctx) SendPrio(dst, handler int, data any, size, priority int) {
 	m := c.proc.m
 	m.sent++
@@ -77,6 +79,8 @@ func (c *Ctx) CreatePersistent(dst, maxBytes int) (lrts.PersistentHandle, error)
 }
 
 // SendPersistent sends over a persistent channel (LrtsSendPersistentMsg).
+//
+//simlint:hotpath
 func (c *Ctx) SendPersistent(h lrts.PersistentHandle, dst, handler int, data any, size int) error {
 	m := c.proc.m
 	m.sent++

@@ -45,8 +45,8 @@ type Machine struct {
 	layer lrts.Layer
 	opts  Options
 
-	procs    []Proc             // slab: one allocation for all schedulers
-	cpus     []sim.PEResource   // slab: one allocation for all PE CPUs
+	procs    []Proc           // slab: one allocation for all schedulers
+	cpus     []sim.PEResource // slab: one allocation for all PE CPUs
 	handlers []HandlerFn
 
 	// msgs pools lrts.Message envelopes: acquired by every send path
@@ -129,6 +129,8 @@ type deliverNode struct {
 }
 
 // fireDeliver enqueues the delivered message on its scheduler.
+//
+//simlint:hotpath
 func fireDeliver(arg any) {
 	n := arg.(*deliverNode)
 	p, msg, at := n.p, n.msg, n.at
@@ -139,6 +141,8 @@ func fireDeliver(arg any) {
 }
 
 // Deliver implements lrts.Host: enqueue msg on pe's scheduler at time at.
+//
+//simlint:hotpath
 func (m *Machine) Deliver(pe int, msg *lrts.Message, at sim.Time) {
 	if at < m.eng.Now() {
 		at = m.eng.Now()
@@ -192,6 +196,7 @@ func (m *Machine) checkQuiescence(at sim.Time) {
 	if m.qdWatcher != nil && m.sent == m.processed {
 		fn := m.qdWatcher
 		m.qdWatcher = nil
+		//simlint:allow hotpathalloc -- quiescence fires once per detection, not per message; the closure is the wave's single epilogue
 		m.eng.At(at, func() { fn(at) })
 	}
 }
@@ -254,6 +259,7 @@ func (a queued) before(b queued) bool {
 }
 
 func (h *msgHeap) push(v queued) {
+	//simlint:allow hotpathalloc -- amortized heap growth: the backing array is reused across pushes and recycled by Close
 	q := append(*h, v)
 	i := len(q) - 1
 	for i > 0 {
@@ -311,6 +317,8 @@ func (p *Proc) kick(at sim.Time) {
 }
 
 // fireDispatch is the closure-free engine callback for scheduler dispatch.
+//
+//simlint:hotpath
 func fireDispatch(arg any) { arg.(*Proc).dispatch() }
 
 func (p *Proc) dispatch() {

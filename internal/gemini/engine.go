@@ -42,12 +42,16 @@ func (u *unitEngine) Serialization(size int) sim.Time {
 }
 
 // Enqueue schedules a completion callback on the machine's event loop.
+//
+//simlint:hotpath
 func (u *unitEngine) Enqueue(at sim.Time, fn func()) {
 	u.net.Eng.At(at, fn)
 }
 
 // EnqueueArg schedules a closure-free completion callback on the machine's
 // event loop (see sim.Engine.AtArg).
+//
+//simlint:hotpath
 func (u *unitEngine) EnqueueArg(at sim.Time, fn func(any), arg any) {
 	u.net.Eng.AtArg(at, fn, arg)
 }
@@ -61,6 +65,8 @@ func (u *unitEngine) EnqueueArg(at sim.Time, fn func(any), arg any) {
 //
 //	srcDone:   the source engine is free / source buffer no longer in use
 //	dstArrive: the last byte has landed in destination memory
+//
+//simlint:hotpath
 func (u *unitEngine) Transfer(dstNode, size int, ready sim.Time) (srcDone, dstArrive sim.Time) {
 	n := u.net
 	if size < 0 {
@@ -91,6 +97,8 @@ func (u *unitEngine) Transfer(dstNode, size int, ready sim.Time) (srcDone, dstAr
 // target node, and the data flows back along target->requester links. It
 // returns when the request engine is done issuing and when the data has
 // fully arrived at the requester.
+//
+//simlint:hotpath
 func (u *unitEngine) Get(target, size int, ready sim.Time) (reqDone, dataArrive sim.Time) {
 	n := u.net
 	if size < 0 {

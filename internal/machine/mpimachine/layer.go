@@ -113,6 +113,8 @@ func (l *Layer) freshBuf() mpi.BufID {
 }
 
 // SyncSend implements LrtsSyncSend via MPI_Isend.
+//
+//simlint:hotpath
 func (l *Layer) SyncSend(ctx lrts.SendContext, msg *lrts.Message) {
 	l.sends++
 	cpu := l.comm.Isend(msg.SrcPE, msg.DstPE, msg.Size, msg, l.freshBuf(), ctx.Now())
@@ -138,6 +140,8 @@ func (l *Layer) pump(pe int) {
 }
 
 // firePump runs one scheduled progress-engine step (closure-free pump).
+//
+//simlint:hotpath
 func firePump(arg any) {
 	ps := arg.(*pumpState)
 	l, pe := ps.l, ps.pe

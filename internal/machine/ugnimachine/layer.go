@@ -402,6 +402,8 @@ func (l *Layer) sendStart(ctx lrts.SendContext, work sim.Time) sim.Time {
 
 // SyncSend implements LrtsSyncSend (paper Section III-B): non-blocking,
 // message handed to the network or buffered.
+//
+//simlint:hotpath
 func (l *Layer) SyncSend(ctx lrts.SendContext, msg *lrts.Message) {
 	net := l.gni.Net
 	if net.SameNode(msg.SrcPE, msg.DstPE) && l.cfg.Intra != IntraNIC {
@@ -444,6 +446,7 @@ func (l *Layer) sendLarge(ctx lrts.SendContext, msg *lrts.Message) {
 	l.nextID++
 	p := l.sends.Get()
 	p.bufCap, p.msg = capacity, msg
+	//simlint:allow hotpathalloc -- pending-rendezvous table: bounded by in-flight sends, entries recycled by delete; growth is amortized
 	l.pending[id] = p
 	init := l.inits.Get()
 	init.id, init.msg, init.size = id, msg, msg.Size
@@ -524,6 +527,8 @@ func (l *Layer) rdmaUnit(size int) func(*ugni.PostDesc, sim.Time) sim.Time {
 }
 
 // onSmsg is the progress engine's SMSG event hook for pe.
+//
+//simlint:hotpath
 func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 	poll := l.gni.PollCost()
 	switch ev.Tag {
@@ -544,6 +549,7 @@ func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 		if l.cfg.PutRendezvous {
 			// PUT-based ablation: return a CTS carrying the landing buffer.
 			e := l.progress(pe, ev.At, poll+allocCost+l.gni.Net.P.HostSendCPU)
+			//simlint:allow hotpathalloc -- PUT-rendezvous ablation path: deliberately unoptimized protocol variant kept for the paper's comparison
 			cts := &ctsMsg{id: id, bufCap: capacity}
 			if _, err := l.gni.SmsgSendWTag(pe, ev.Src, tagCTS, l.cfg.CtrlMsgSize, cts, e, nil); err != nil {
 				panic(fmt.Sprintf("ugnimachine: cts send: %v", err))
@@ -576,6 +582,7 @@ func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 		if !ok {
 			panic(fmt.Sprintf("ugnimachine: CTS for unknown id %d", cts.id))
 		}
+		//simlint:allow hotpathalloc -- PUT-rendezvous ablation path: deliberately unoptimized protocol variant kept for the paper's comparison
 		desc := &ugni.PostDesc{
 			Kind:      ugni.PostPut,
 			Initiator: pe,
@@ -624,6 +631,8 @@ type rdmaRecvState struct {
 // onRdma handles RDMA completion events on pe. Local completions drive the
 // rendezvous (GET done at receiver) and persistent (PUT issued at sender)
 // protocols; remote completions record persistent data arrival.
+//
+//simlint:hotpath
 func (l *Layer) onRdma(pe int, ev ugni.Event) {
 	switch ev.Type {
 	case ugni.EvRdmaLocal:
@@ -682,6 +691,7 @@ func (l *Layer) onRdma(pe int, ev ugni.Event) {
 		l.pstates.Put(st)
 		l.gni.ReleasePostDesc(ev.Desc)
 		ch := l.channels[handle]
+		//simlint:allow hotpathalloc -- persistent-channel arrival table: bounded by in-flight sends per channel; growth is amortized
 		ch.dataAt[seq] = ev.At
 		if msg, ok := ch.early[seq]; ok {
 			delete(ch.early, seq)

@@ -63,6 +63,8 @@ func (l *Layer) CreatePersistent(ctx lrts.SendContext, dstPE, maxBytes int) (lrt
 // (a 2ms compute delays it by 2ms). Because the receiver here delivers at
 // max(data arrival, notification arrival), sending the notification at
 // post time is safe and removes the sender-side dependency.
+//
+//simlint:hotpath
 func (l *Layer) SendPersistent(ctx lrts.SendContext, h lrts.PersistentHandle, msg *lrts.Message) error {
 	if int(h) < 0 || int(h) >= len(l.channels) {
 		return fmt.Errorf("ugnimachine: invalid persistent handle %d", h)
@@ -103,6 +105,8 @@ func (l *Layer) SendPersistent(ctx lrts.SendContext, h lrts.PersistentHandle, ms
 
 // onPersistNotify handles the PERSISTENT_TAG SMSG on the receiver: deliver
 // the message once both the notification and the data have arrived.
+//
+//simlint:hotpath
 func (l *Layer) onPersistNotify(pe int, ev ugni.Event) {
 	note := ev.Payload.(*persistNotify)
 	handle, seq, msg := note.handle, note.seq, note.msg
@@ -111,6 +115,7 @@ func (l *Layer) onPersistNotify(pe int, ev ugni.Event) {
 	dataAt, ok := ch.dataAt[seq]
 	if !ok {
 		// Notification overtook the data event; hold it.
+		//simlint:allow hotpathalloc -- notification-overtakes-data reorder case only; the common path finds dataAt populated
 		ch.early[seq] = msg
 		return
 	}

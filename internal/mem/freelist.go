@@ -28,12 +28,31 @@ func LiveDescriptors() int64 { return live }
 // (recycled when available, freshly allocated otherwise); Put zeroes the
 // record and recycles it. Not safe for concurrent use — which is the
 // point: it lives inside the deterministic single-threaded simulation.
+//
+// Ownership vocabulary (checked by the simlint poolleak and
+// useafterrelease analyzers; DESIGN.md §6 "Ownership rules"):
+//
+//   - acquire: Get hands the caller exclusive ownership of the record.
+//   - release: Put returns ownership to the list; the caller must not
+//     touch the record afterwards — the pool may recycle it into another
+//     record at any time.
+//   - transfer: passing the record to a call, storing it in a field, map,
+//     or slice, sending it, or returning it moves ownership to the
+//     recipient, which becomes responsible for the eventual Put.
+//
+// Every acquired record must be released or transferred on every path to
+// return; poolleak flags paths that drop one, useafterrelease flags reads
+// and double-Puts after release. Functions outside this package that
+// acquire or release on a caller's behalf carry //simlint:acquire and
+// //simlint:release doc directives so the analyzers see through them.
 type FreeList[T any] struct {
 	free []*T
 	out  int64 // acquired minus released, for leak diagnostics
 }
 
-// Get acquires a zeroed record.
+// Get acquires a zeroed record: the caller owns it exclusively until it
+// releases it with Put or transfers it (call argument, field/map store,
+// return, send).
 func (f *FreeList[T]) Get() *T {
 	f.out++
 	live++
@@ -43,13 +62,15 @@ func (f *FreeList[T]) Get() *T {
 		f.free = f.free[:n-1]
 		return x
 	}
+	//simlint:allow hotpathalloc -- pool miss path: allocates only while the free list is empty; steady state recycles
 	return new(T)
 }
 
-// Put releases a record back to the list. The record is zeroed here so a
-// stale pointer kept past release reads zeros (loudly wrong) rather than
-// the next owner's fields (silently wrong), and so the list never pins
-// dead payloads for the GC.
+// Put releases a record back to the list, ending the caller's ownership:
+// any later read through the pointer observes a recycled record. It is
+// zeroed here so a stale pointer kept past release reads zeros (loudly
+// wrong) rather than the next owner's fields (silently wrong), and so the
+// list never pins dead payloads for the GC.
 func (f *FreeList[T]) Put(x *T) {
 	var zero T
 	*x = zero

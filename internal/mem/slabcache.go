@@ -21,6 +21,16 @@ import "sync"
 // Slabs are zeroed on Get, not on Put, so reuse is behaviorally identical
 // to a fresh make — a stale field can never leak into the next machine and
 // double-run determinism is preserved by construction.
+//
+// Ownership vocabulary (checked by the simlint closechain analyzer;
+// DESIGN.md §6 "Ownership rules"): Get acquires a slab for the machine
+// under construction, which stores it in a field; Put releases it when
+// that machine is torn down. Because slabs live as long as their owner,
+// the release site is the owner's Close (or a function reachable from
+// it) — closechain verifies that every field assigned from a SlabCache
+// acquire is Put on the owner's Close chain. Wrappers that acquire or
+// release slabs for another package carry //simlint:acquire and
+// //simlint:release doc directives (e.g. ugni.GetCQSlab/PutCQSlab).
 type SlabCache[T any] struct {
 	mu   sync.Mutex
 	free [][]T
@@ -31,8 +41,9 @@ type SlabCache[T any] struct {
 // shapes, so a small bound captures all reuse.
 const slabCacheMax = 16
 
-// Get returns a zeroed slice of length n, reusing a retained slab when one
-// with sufficient capacity exists.
+// Get acquires a zeroed slice of length n, reusing a retained slab when
+// one with sufficient capacity exists. The slab belongs to the caller (in
+// practice: the machine storing it in a field) until released with Put.
 func (c *SlabCache[T]) Get(n int) []T {
 	if n == 0 {
 		return nil
@@ -54,7 +65,8 @@ func (c *SlabCache[T]) Get(n int) []T {
 	return make([]T, n)
 }
 
-// Put retains s for a later Get. The caller must not touch s afterwards.
+// Put releases s for a later Get, normally from the owning machine's
+// Close. The caller must not touch s afterwards.
 func (c *SlabCache[T]) Put(s []T) {
 	if cap(s) == 0 {
 		return

@@ -206,8 +206,10 @@ func (c *Comm) registerCached(rank int, buf BufID, size int) sim.Time {
 	}
 	if buf != 0 {
 		if c.dreg[rank] == nil {
+			//simlint:allow hotpathalloc -- uDREG cache fill: first registration for a rank only, already charged a full MemRegister
 			c.dreg[rank] = make(map[BufID]bool)
 		}
+		//simlint:allow hotpathalloc -- uDREG cache fill: per-buffer miss path only, already charged a full MemRegister
 		c.dreg[rank][buf] = true
 	}
 	c.ctr.udregMisses++
@@ -228,6 +230,8 @@ func (c *Comm) Isend(src, dst, size int, payload any, buf BufID, at sim.Time) si
 }
 
 // newEnv acquires a pooled envelope (released at the end of Recv).
+//
+//simlint:acquire
 func (c *Comm) newEnv() *Envelope {
 	env := c.envs.Get()
 	env.c = c
@@ -293,12 +297,16 @@ func (c *Comm) isendIntra(src, dst, size int, payload any, at sim.Time) sim.Time
 }
 
 // fireIntraArrive delivers a node-local envelope (closure-free Enqueue).
+//
+//simlint:hotpath
 func fireIntraArrive(arg any) {
 	env := arg.(*Envelope)
 	env.c.arrive(env.Dst, env, env.ArrivedAt)
 }
 
 // onSmsg demultiplexes uGNI SMSG events.
+//
+//simlint:hotpath
 func (c *Comm) onSmsg(rank int, ev ugni.Event) {
 	env := ev.Payload.(*Envelope)
 	c.arrive(rank, env, ev.At)
@@ -306,6 +314,8 @@ func (c *Comm) onSmsg(rank int, ev ugni.Event) {
 
 // onRdma handles eager-large PUT arrivals. The descriptor's only CQ event
 // is this one, so it returns to the pool here.
+//
+//simlint:hotpath
 func (c *Comm) onRdma(rank int, ev ugni.Event) {
 	if ev.Type != ugni.EvRdmaRemote {
 		panic(fmt.Sprintf("mpi: unexpected RDMA event %v", ev.Type))

@@ -106,16 +106,22 @@ func (l *Loopback) Serialization(size int) sim.Time { return l.m.Mem.Memcpy(size
 // Transfer reports the handoff timing: the sender is done immediately
 // (its copy was charged to its CPU by the caller) and the receiver can
 // observe the message after the notification latency.
+//
+//simlint:hotpath
 func (l *Loopback) Transfer(dst, size int, ready sim.Time) (srcDone, dstArrive sim.Time) {
 	l.transfers++
 	return ready, ready + l.m.NotifyLatency
 }
 
 // Enqueue schedules a completion callback on the machine's event loop.
+//
+//simlint:hotpath
 func (l *Loopback) Enqueue(at sim.Time, fn func()) { l.eng.At(at, fn) }
 
 // EnqueueArg schedules a closure-free completion callback on the machine's
 // event loop (see sim.Engine.AtArg).
+//
+//simlint:hotpath
 func (l *Loopback) EnqueueArg(at sim.Time, fn func(any), arg any) { l.eng.AtArg(at, fn, arg) }
 
 // Transfers reports how many handoffs this engine carried.

@@ -147,6 +147,7 @@ func (e *Engine) acquire(t Time) *Event {
 		e.free = ev.next
 		ev.next = nil
 	} else {
+		//simlint:allow hotpathalloc -- event pool miss path: allocates only while the free list is empty; steady state recycles
 		ev = &Event{eng: e}
 	}
 	ev.at = t

@@ -306,6 +306,7 @@ func (r *GapResource) node(s, e Time) *gnode {
 	if n != nil {
 		r.pool = n.l
 	} else {
+		//simlint:allow hotpathalloc -- treap node pool miss path: allocates only while the pool is empty; steady state recycles
 		n = &gnode{}
 	}
 	r.prioSeq++

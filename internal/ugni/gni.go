@@ -72,10 +72,14 @@ func (g *GNI) CqInitIdx(cq *CQ, pre string, idx int, post string) {
 // The matching ReleasePostDesc call happens at the descriptor's completion
 // event (the last CQ event the post generates); a descriptor that outlives
 // its transaction must be heap-allocated instead.
+//
+//simlint:acquire
 func (g *GNI) NewPostDesc() *PostDesc { return g.descs.Get() }
 
 // ReleasePostDesc returns a pool-acquired descriptor. The caller must not
 // touch d afterwards.
+//
+//simlint:release
 func (g *GNI) ReleasePostDesc(d *PostDesc) { g.descs.Put(d) }
 
 // AttachSmsgCQ designates cq as the receive CQ for incoming SMSG messages
@@ -121,6 +125,7 @@ func (g *GNI) connect(a, b int) {
 		key = uint64(b)<<32 | uint64(uint32(a))
 	}
 	if !g.mailbox[key] {
+		//simlint:allow hotpathalloc -- mailbox establishment: first message between a PE pair only, modeling the real one-time SMSG mailbox allocation
 		g.mailbox[key] = true
 		// Both endpoints allocate and register a mailbox.
 		g.mbxBytes += 2 * int64(g.Net.P.SMSGMailboxBytes)

@@ -14,14 +14,22 @@ var (
 )
 
 // GetCQSlab returns a zeroed CQ slab of length n.
+//
+//simlint:acquire
 func GetCQSlab(n int) []CQ { return cqSlabs.Get(n) }
 
 // PutCQSlab recycles a CQ slab. Every CQ in it must be detached: the
 // owning machine, its GNI, and its network must not be used afterwards.
+//
+//simlint:release
 func PutCQSlab(s []CQ) { cqSlabs.Put(s) }
 
 // GetCQPtrSlab returns a zeroed per-PE CQ pointer slab of length n.
+//
+//simlint:acquire
 func GetCQPtrSlab(n int) []*CQ { return cqPtrSlabs.Get(n) }
 
 // PutCQPtrSlab recycles a CQ pointer slab.
+//
+//simlint:release
 func PutCQPtrSlab(s []*CQ) { cqPtrSlabs.Put(s) }
