@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint lint-audit check bench-smoke bench-json profile alloc-gate
+.PHONY: build test test-race vet lint lint-audit check fault-matrix bench-smoke bench-json profile alloc-gate
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ lint-audit:
 	$(GO) run ./cmd/simlint -audit ./...
 
 check: build vet lint test test-race
+
+# Fault-model matrix (DESIGN.md §7) under the race detector: the scenario
+# runs (squeeze / tx-error / CQ back-pressure / combined, each double-run
+# for bit-identical faulted replay), the ~200-seed random-schedule
+# property test, and the faulted pool-drain gate.
+fault-matrix:
+	$(GO) test -race -count=1 -run 'TestFault' ./internal/bench/
 
 # Quick microbenchmark pass over the kernel hot paths plus the end-to-end
 # fig9a wall-clock benchmark.

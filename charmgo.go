@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"charmgo/internal/converse"
+	"charmgo/internal/fault"
 	"charmgo/internal/gemini"
 	"charmgo/internal/lrts"
 	"charmgo/internal/machine/mpimachine"
@@ -104,6 +105,10 @@ type MachineConfig struct {
 	// CPUs). Probes are pure observers: attaching one never changes
 	// virtual-time results.
 	Probe Probe
+	// Faults, when non-nil, is the deterministic fault schedule injected
+	// into the NIC before the run starts (DESIGN.md §7). Same schedule +
+	// same workload seed replay bit-identically.
+	Faults *fault.Schedule
 }
 
 // NewMachine builds a ready-to-run simulated machine.
@@ -126,6 +131,9 @@ func NewMachine(cfg MachineConfig) *Machine {
 	}
 	net := gemini.NewNetwork(eng, cfg.Nodes, params)
 	g := ugni.New(net)
+	if cfg.Faults != nil {
+		fault.Apply(g, *cfg.Faults)
+	}
 
 	var layer lrts.Layer
 	switch cfg.Layer {

@@ -65,7 +65,7 @@ func AblChunkSize(o Options) []*stats.Table {
 	t := stats.NewTable(fmt.Sprintf("Ablation: task bundling, %d-Queens thr=%d on %d cores", n, thr, cores),
 		"chunk", "tasks", "time(ms)")
 	for _, chunk := range []int{1, 4, 16, 64, 256} {
-		res := ssse.Run(queensMachine(cores, charmgo.LayerUGNI, nil), ssse.Config{
+		res := runQueens(cores, charmgo.LayerUGNI, ssse.Config{
 			N: n, Threshold: thr, Seed: o.Seed, ChunkSize: chunk,
 		})
 		t.Add(chunk, res.Tasks, res.Elapsed.Millis())
@@ -80,7 +80,7 @@ func AblSMSGMaxSize(o Options) []*stats.Table {
 		"job PEs", "SMSG max (B)", "mailbox bytes/conn")
 	p := gemini.DefaultParams()
 	for _, pes := range []int{256, 1024, 4096, 16384, 65536} {
-		t.Add(pes, gemini.SMSGMaxSize(pes), 2*p.SMSGMailboxBytes)
+		t.Add(pes, gemini.SMSGMaxSize(pes), 2*p.SMSGMailboxBytes())
 	}
 	t.Note = "larger jobs shrink the cap, pushing mid-size messages onto the rendezvous path"
 	return []*stats.Table{t}
@@ -99,10 +99,12 @@ func AblPMEPriority(o Options) []*stats.Table {
 	for _, sys := range []md.System{md.DHFR, md.ApoA1} {
 		run := func(noPrio bool) float64 {
 			m := queensMachine(cores, charmgo.LayerUGNI, nil)
-			return md.Run(m, md.Config{
+			r := md.Run(m, md.Config{
 				System: sys, Steps: steps, Warmup: warm, LB: true,
 				Seed: o.Seed, NoPMEPriority: noPrio,
-			}).MsPerStep
+			})
+			closeMachine(m)
+			return r.MsPerStep
 		}
 		t.Add(fmt.Sprintf("%s(%d)", sys.Name, cores), run(false), run(true))
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"charmgo/internal/fault"
 	"charmgo/internal/mem"
 )
 
@@ -41,5 +42,29 @@ func TestKernelProbeDrains(t *testing.T) {
 	KernelProbeRun()
 	if live := mem.LiveDescriptors(); live != 0 {
 		t.Fatalf("kernel probe run leaked %d pool descriptors", live)
+	}
+}
+
+// TestFaultedRunsDrainPools extends the pool-leak gate to faulted runs
+// (ISSUE 5): a workload driven through the recovery paths — pending-send
+// queues, retransmits, CQ recovery — must still return every pool-acquired
+// record and every mailbox credit, on both passes of the double-run
+// discipline.
+func TestFaultedRunsDrainPools(t *testing.T) {
+	live := mem.LiveDescriptors()
+	sched := fault.RandomSchedule(99, fault.Random{
+		PEs: faultPEs, Links: 8, Horizon: faultHorizon, Ops: 10,
+	})
+	for pass := 1; pass <= 2; pass++ {
+		r, viol := runFaultWorkload(nil, nil, sched)
+		for _, v := range viol {
+			t.Error(v)
+		}
+		if got := mem.LiveDescriptors(); got != live {
+			t.Fatalf("pass %d leaked %d pool descriptors", pass, got-live)
+		}
+		if r.layer["smsg_credits_in_flight"] != 0 {
+			t.Fatalf("pass %d left %d credits in flight", pass, r.layer["smsg_credits_in_flight"])
+		}
 	}
 }

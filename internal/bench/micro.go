@@ -5,7 +5,10 @@
 package bench
 
 import (
+	"fmt"
+
 	"charmgo"
+	"charmgo/internal/fault"
 	"charmgo/internal/gemini"
 	"charmgo/internal/machine/ugnimachine"
 	"charmgo/internal/mem"
@@ -52,8 +55,8 @@ func PureUGNIOneWay(size int) sim.Time {
 		var done sim.Time
 		count := 0
 		send := func(src, dst int, at sim.Time) {
-			if _, err := g.SmsgSendWTag(src, dst, 0, size, nil, at+p.HostSendCPU, nil); err != nil {
-				panic(err)
+			if _, rc, err := g.SmsgSendWTag(src, dst, 0, size, nil, at+p.HostSendCPU, nil); err != nil || rc != ugni.RCSuccess {
+				panic(fmt.Sprintf("smsg send: %v (%v)", err, rc))
 			}
 		}
 		rx1.OnEvent = func(ev ugni.Event) { send(pe1, pe0, ev.At+p.HostCQPollCPU) }
@@ -198,6 +201,10 @@ type CharmPingPong struct {
 	Intra bool // node-local peers
 	// Persistent uses the persistent-message API (uGNI layer only).
 	Persistent bool
+	// Params overrides hardware constants (nil keeps the defaults).
+	Params *gemini.Params
+	// Faults injects a deterministic fault schedule (nil runs clean).
+	Faults *fault.Schedule
 }
 
 // OneWay runs the ping-pong and returns the steady-state one-way latency,
@@ -205,7 +212,10 @@ type CharmPingPong struct {
 // pool makes reuse automatic here).
 func (b CharmPingPong) OneWay() sim.Time {
 	nodes := 2
-	m := charmgo.NewMachine(charmgo.MachineConfig{Nodes: nodes, Layer: b.Layer, UGNI: b.UGNI})
+	m := charmgo.NewMachine(charmgo.MachineConfig{
+		Nodes: nodes, Layer: b.Layer, UGNI: b.UGNI,
+		Params: b.Params, Faults: b.Faults,
+	})
 	peer := m.Net().P.CoresPerNode
 	if b.Intra {
 		peer = 1

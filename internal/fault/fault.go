@@ -1,0 +1,249 @@
+// Package fault injects deterministic NIC and network faults into a
+// simulated run (DESIGN.md §7). A fault schedule is pure data — a sorted
+// list of timed operations — applied through the public uGNI/Gemini fault
+// hooks before the run starts; every hook books its effect through the
+// simulation kernel, so a faulted run replays bit-identically from the
+// same schedule and the same workload seed.
+//
+// Four fault kinds cover the recovery paths the machine layer implements:
+// link flaps (bandwidth loss), SMSG credit squeezes (RC_NOT_DONE storms),
+// one-shot transaction errors (EvError + bounded retry), and CQ
+// back-pressure windows (deferred delivery, overrun + CqErrorRecover).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"charmgo/internal/sim"
+	"charmgo/internal/ugni"
+)
+
+// Kind discriminates fault operations.
+type Kind int
+
+const (
+	// LinkFlap takes one torus link down for a window: traffic reroutes
+	// into the remaining bandwidth (Op.Arg selects the link, Op.Dur the
+	// outage).
+	LinkFlap Kind = iota
+	// CreditSqueeze narrows the Src→Dst SMSG credit window to Op.Arg
+	// slots for [At, At+Dur): senders see RC_NOT_DONE early and fall back
+	// to their pending-send queues.
+	CreditSqueeze
+	// TxError arms the next Op.Arg FMA/BTE posts initiated by PE Src to
+	// complete with EvError instead of data movement, exercising the
+	// bounded-retry path.
+	TxError
+	// CqBackPressure suspends PE Src's SMSG receive CQ for [At, At+Dur):
+	// deliveries defer (holding their mailbox credits), the queue can
+	// overrun its finite depth, and resume runs the CqErrorRecover path.
+	CqBackPressure
+
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkFlap:
+		return "link-flap"
+	case CreditSqueeze:
+		return "credit-squeeze"
+	case TxError:
+		return "tx-error"
+	case CqBackPressure:
+		return "cq-back-pressure"
+	}
+	return "fault?"
+}
+
+// Op is one fault operation. Field use by kind:
+//
+//	LinkFlap:       At, Dur, Arg (link index, reduced mod NumLinks at apply)
+//	CreditSqueeze:  At, Dur, Src, Dst, Arg (slots remaining, >= 0)
+//	TxError:        At, Src (initiating PE), Arg (number of posts, >= 1)
+//	CqBackPressure: At, Dur, Src (suspended PE)
+type Op struct {
+	At       sim.Time
+	Kind     Kind
+	Src, Dst int
+	Dur      sim.Time
+	Arg      int
+}
+
+// String renders one op in the schedule's canonical form.
+func (o Op) String() string {
+	switch o.Kind {
+	case LinkFlap:
+		return fmt.Sprintf("%s at=%d dur=%d link=%d", o.Kind, o.At, o.Dur, o.Arg)
+	case CreditSqueeze:
+		return fmt.Sprintf("%s at=%d dur=%d %d->%d slots=%d", o.Kind, o.At, o.Dur, o.Src, o.Dst, o.Arg)
+	case TxError:
+		return fmt.Sprintf("%s at=%d pe=%d n=%d", o.Kind, o.At, o.Src, o.Arg)
+	case CqBackPressure:
+		return fmt.Sprintf("%s at=%d dur=%d pe=%d", o.Kind, o.At, o.Dur, o.Src)
+	}
+	return "op?"
+}
+
+// Schedule is a deterministic fault plan: operations in (At, Kind, Src,
+// Dst, Arg, Dur) order. The zero value is the no-fault schedule.
+type Schedule struct {
+	Ops []Op
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s Schedule) Empty() bool { return len(s.Ops) == 0 }
+
+// String renders the schedule one op per line — the reproduction recipe a
+// failing property test prints.
+func (s Schedule) String() string {
+	if s.Empty() {
+		return "fault.Schedule{} (no faults)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault.Schedule{%d ops}:", len(s.Ops))
+	for _, o := range s.Ops {
+		b.WriteString("\n  ")
+		b.WriteString(o.String())
+	}
+	return b.String()
+}
+
+// sortOps puts ops into the canonical total order so that schedules built
+// from unordered sources apply deterministically.
+func sortOps(ops []Op) {
+	sort.Slice(ops, func(i, j int) bool {
+		a, b := ops[i], ops[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Arg != b.Arg {
+			return a.Arg < b.Arg
+		}
+		return a.Dur < b.Dur
+	})
+}
+
+// Apply registers every op with the NIC before the run starts. It goes
+// only through the public uGNI/Gemini fault hooks — each books its timed
+// effect through the simulation kernel (simlint: bookviakernel), so
+// injection preserves determinism.
+func Apply(g *ugni.GNI, s Schedule) {
+	for _, o := range s.Ops {
+		switch o.Kind {
+		case LinkFlap:
+			g.Net.FlapLink(o.Arg, o.At, o.Dur)
+		case CreditSqueeze:
+			g.SqueezeCredits(o.Src, o.Dst, o.Arg, o.At, o.At+o.Dur)
+		case TxError:
+			g.ArmTxError(o.Src, o.Arg, o.At)
+		case CqBackPressure:
+			g.SuspendSmsgCQ(o.Src, o.At, o.At+o.Dur)
+		default:
+			panic(fmt.Sprintf("fault: unknown kind %d", o.Kind))
+		}
+	}
+}
+
+// Random describes the space RandomSchedule draws from.
+type Random struct {
+	// PEs bounds Src/Dst draws (required, >= 2).
+	PEs int
+	// Links bounds LinkFlap's link index (<= 0 disables link flaps, for
+	// single-node or link-less topologies).
+	Links int
+	// Horizon bounds op start times to [0, Horizon).
+	Horizon sim.Time
+	// Ops is how many operations to draw.
+	Ops int
+	// MaxWindow bounds Dur for windowed kinds (default Horizon/4).
+	MaxWindow sim.Time
+}
+
+// RandomSchedule draws a schedule from the seeded simulation RNG: same
+// seed, same schedule, on every platform.
+func RandomSchedule(seed uint64, cfg Random) Schedule {
+	if cfg.PEs < 2 {
+		panic(fmt.Sprintf("fault: RandomSchedule with %d PEs", cfg.PEs))
+	}
+	if cfg.Horizon <= 0 {
+		panic(fmt.Sprintf("fault: RandomSchedule with horizon %d", cfg.Horizon))
+	}
+	maxWin := cfg.MaxWindow
+	if maxWin <= 0 {
+		maxWin = cfg.Horizon / 4
+	}
+	if maxWin <= 0 {
+		maxWin = 1
+	}
+	rng := sim.NewRNG(seed)
+	ops := make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		kinds := int(numKinds)
+		if cfg.Links <= 0 {
+			kinds-- // skip LinkFlap by drawing from the other kinds
+		}
+		k := Kind(rng.Intn(kinds))
+		if cfg.Links <= 0 {
+			k++ // shift past LinkFlap
+		}
+		o := Op{
+			At:   sim.Time(rng.Uint64() % uint64(cfg.Horizon)),
+			Kind: k,
+		}
+		switch k {
+		case LinkFlap:
+			o.Arg = rng.Intn(cfg.Links)
+			o.Dur = 1 + sim.Time(rng.Uint64()%uint64(maxWin))
+		case CreditSqueeze:
+			o.Src = rng.Intn(cfg.PEs)
+			o.Dst = (o.Src + 1 + rng.Intn(cfg.PEs-1)) % cfg.PEs
+			o.Arg = rng.Intn(3) // 0..2 slots left: a real squeeze
+			o.Dur = 1 + sim.Time(rng.Uint64()%uint64(maxWin))
+		case TxError:
+			o.Src = rng.Intn(cfg.PEs)
+			o.Arg = 1 + rng.Intn(3)
+		case CqBackPressure:
+			o.Src = rng.Intn(cfg.PEs)
+			o.Dur = 1 + sim.Time(rng.Uint64()%uint64(maxWin))
+		}
+		ops = append(ops, o)
+	}
+	sortOps(ops)
+	return Schedule{Ops: ops}
+}
+
+// Shrink greedily minimizes a failing schedule: it retries fails with one
+// op removed at a time, keeping any removal that still fails, until no
+// single removal preserves the failure. fails must be a pure function of
+// the schedule (run the workload fresh each call).
+func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
+	for {
+		removed := false
+		for i := 0; i < len(s.Ops); i++ {
+			trial := Schedule{Ops: make([]Op, 0, len(s.Ops)-1)}
+			trial.Ops = append(trial.Ops, s.Ops[:i]...)
+			trial.Ops = append(trial.Ops, s.Ops[i+1:]...)
+			if fails(trial) {
+				s = trial
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return s
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"sort"
+	"testing"
+
+	"charmgo/internal/sim"
+)
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	cfg := Random{PEs: 8, Links: 12, Horizon: sim.Time(1_000_000), Ops: 20}
+	a := RandomSchedule(42, cfg)
+	b := RandomSchedule(42, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	c := RandomSchedule(43, cfg)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Ops) != 20 {
+		t.Fatalf("drew %d ops, want 20", len(a.Ops))
+	}
+	if !sort.SliceIsSorted(a.Ops, func(i, j int) bool { return a.Ops[i].At < a.Ops[j].At }) {
+		t.Fatal("schedule not sorted by start time")
+	}
+}
+
+func TestRandomScheduleNoLinks(t *testing.T) {
+	s := RandomSchedule(7, Random{PEs: 4, Links: 0, Horizon: sim.Time(1000), Ops: 50})
+	for _, o := range s.Ops {
+		if o.Kind == LinkFlap {
+			t.Fatalf("drew a link flap with Links=0: %s", o)
+		}
+		if o.Kind == CreditSqueeze && o.Src == o.Dst {
+			t.Fatalf("squeeze on a self connection: %s", o)
+		}
+	}
+}
+
+func TestShrinkMinimizes(t *testing.T) {
+	s := RandomSchedule(3, Random{PEs: 4, Links: 4, Horizon: sim.Time(1000), Ops: 10})
+	// Failure depends on one specific op: Shrink must isolate exactly it.
+	culprit := s.Ops[4]
+	fails := func(trial Schedule) bool {
+		for _, o := range trial.Ops {
+			if o == culprit {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(s, fails)
+	if len(min.Ops) != 1 || min.Ops[0] != culprit {
+		t.Fatalf("Shrink kept %d ops, want exactly the culprit:\n%s", len(min.Ops), min)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if got := (Schedule{}).String(); got != "fault.Schedule{} (no faults)" {
+		t.Fatalf("empty schedule renders %q", got)
+	}
+	s := Schedule{Ops: []Op{
+		{At: 5, Kind: CreditSqueeze, Src: 1, Dst: 2, Dur: 10, Arg: 0},
+		{At: 7, Kind: TxError, Src: 3, Arg: 2},
+	}}
+	want := "fault.Schedule{2 ops}:\n  credit-squeeze at=5 dur=10 1->2 slots=0\n  tx-error at=7 pe=3 n=2"
+	if s.String() != want {
+		t.Fatalf("String() =\n%s\nwant\n%s", s, want)
+	}
+}

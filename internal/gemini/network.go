@@ -248,6 +248,26 @@ func (n *Network) Get(requester, target, size int, u Unit, ready sim.Time) (reqD
 	return n.engine(requester, u).Get(target, size, ready)
 }
 
+// NumLinks reports how many directional torus links the machine has.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// FlapLink books a transient outage window [at, at+dur) on one torus link:
+// messages routed across it during the window queue behind the outage
+// exactly like they queue behind real traffic (pure delay, no loss — Gemini
+// is lossless and the paper's congestion study measures stalls, not drops).
+// The booking goes through the link's GapResource, so determinism and probe
+// accounting hold like any other booking.
+func (n *Network) FlapLink(link int, at, dur sim.Time) {
+	li := link % len(n.links)
+	if li < 0 {
+		li += len(n.links)
+	}
+	n.links[li].Acquire(at, dur)
+	if p := n.Eng.Probe(); p != nil {
+		p.FaultNoted(sim.FaultLinkFlap, at)
+	}
+}
+
 // BusiestResources reports the k busiest NIC engines and links (diagnostic
 // aid: "name busy=<total> freeAt=<t> acquires=<n>").
 func (n *Network) BusiestResources(k int) []string {

@@ -67,9 +67,13 @@ type Params struct {
 	BTEOverhead sim.Time // descriptor fetch + engine start
 	BTEBW       float64  // bytes/ns
 
-	// SMSG.
-	SMSGOverhead     sim.Time // mailbox protocol cost per message
-	SMSGMailboxBytes int      // mailbox memory per connection endpoint
+	// SMSG. The mailbox at each connection endpoint is a finite ring of
+	// credit slots: a send occupies one slot until the receive side
+	// dequeues the message, and a full window makes SmsgSendWTag return
+	// RCNotDone (the paper's GNI_RC_NOT_DONE error path).
+	SMSGOverhead    sim.Time // mailbox protocol cost per message
+	SMSGCreditSlots int      // mailbox slots per connection (credit window)
+	SMSGSlotBytes   int      // bytes per mailbox slot
 
 	// MSGQ (the per-node shared-queue alternative to SMSG; paper II-B:
 	// scalable memory "at the expense of lower performance").
@@ -83,6 +87,10 @@ type Params struct {
 
 	// Completion queues.
 	CQLatency sim.Time // NIC -> host memory event visibility delay
+	CQDepth   int      // finite CQ capacity; <=0 means unbounded
+
+	// Faults.
+	TxErrorLatency sim.Time // post -> EvError completion delay for a failed transaction
 
 	// Host CPU costs of driving the NIC (charged to the calling PE).
 	HostSendCPU   sim.Time // building + issuing an SMSG send
@@ -104,18 +112,26 @@ func DefaultParams() Params {
 		BTEOverhead:       2000 * sim.Nanosecond,
 		BTEBW:             sim.GBps(6.1),
 		SMSGOverhead:      230 * sim.Nanosecond,
-		SMSGMailboxBytes:  16 << 10,
+		SMSGCreditSlots:   8,
+		SMSGSlotBytes:     2 << 10,
 		MSGQExtraOverhead: 450 * sim.Nanosecond,
 		MSGQBytesPerNode:  64 << 10,
 		LoopbackBW:        sim.GBps(5.0),
 		LoopbackLatency:   350 * sim.Nanosecond,
 		CQLatency:         140 * sim.Nanosecond,
+		CQDepth:           4096,
+		TxErrorLatency:    5000 * sim.Nanosecond,
 		HostSendCPU:       260 * sim.Nanosecond,
 		HostPostCPU:       300 * sim.Nanosecond,
 		HostCQPollCPU:     90 * sim.Nanosecond,
 		Mem:               mem.DefaultCostModel(),
 	}
 }
+
+// SMSGMailboxBytes reports mailbox memory per connection endpoint: the
+// credit window's slots times the slot size. Finite-credit accounting and
+// memory accounting agree by construction (ISSUE 5 satellite fix).
+func (p Params) SMSGMailboxBytes() int { return p.SMSGCreditSlots * p.SMSGSlotBytes }
 
 // SMSGMaxSize reports the largest message SMSG will carry for a job of the
 // given PE count. The paper: "By default, the maximum SMSG message size is

@@ -93,17 +93,31 @@ type Config struct {
 	CtrlMsgSize int
 	// PoolSlabBytes sizes pool expansion slabs (0 = pool default).
 	PoolSlabBytes int
+
+	// DegradeThreshold bounds a connection's pending-send queue: once this
+	// many small messages are blocked on RC_NOT_DONE, further smalls
+	// degrade to the GET rendezvous, which moves data without SMSG data
+	// credits (graceful degradation when SMSG is starved). 0 disables
+	// degradation — blocked smalls wait for credits, preserving strict
+	// per-connection FIFO.
+	DegradeThreshold int
+	// RetryBase is the virtual-time backoff unit after a transaction
+	// error: attempt n re-posts after RetryBase << (n-1).
+	RetryBase sim.Time
+	// MaxRetries bounds transaction re-posts before the layer gives up.
+	MaxRetries int
 }
 
 // DefaultConfig returns the configuration the paper's final system uses:
 // memory pool on, single-copy pxshm, BTE for >= 4 KiB.
 func DefaultConfig() Config {
 	return Config{
-		UseMempool:   true,
-		Intra:        IntraPxshmSingle,
-		Pxshm:        shm.DefaultModel(),
-		BTEThreshold: gemini.FMABTECrossover,
-		CtrlMsgSize:  64,
+		UseMempool:       true,
+		Intra:            IntraPxshmSingle,
+		Pxshm:            shm.DefaultModel(),
+		BTEThreshold:     gemini.FMABTECrossover,
+		CtrlMsgSize:      64,
+		DegradeThreshold: 32,
 	}
 }
 
@@ -189,6 +203,13 @@ type Layer struct {
 	nextID   uint64
 	channels []*persistChannel
 
+	// pendq holds per-ordered-(src,dst) queues of small messages blocked on
+	// RC_NOT_DONE, drained in FIFO order on EvCreditReturn events. pendlist
+	// mirrors the map in creation order so Close can release queue records
+	// deterministically without ranging over the map.
+	pendq    map[uint64]*sendQueue
+	pendlist []*sendQueue
+
 	// Protocol-descriptor pools (see DESIGN.md §2.2): every record that
 	// lives exactly one protocol round-trip is acquired here and released
 	// at its documented completion point.
@@ -199,6 +220,8 @@ type Layer struct {
 	intras  mem.FreeList[intraState]
 	pstates mem.FreeList[persistSendState]
 	pnotes  mem.FreeList[persistNotify]
+	qnodes  mem.FreeList[sendNode]
+	queues  mem.FreeList[sendQueue]
 
 	// ctr holds the per-message counters as plain fields: incrementing a
 	// string-keyed map on every send was a measurable slice of hot-path CPU.
@@ -206,6 +229,8 @@ type Layer struct {
 	ctr struct {
 		msgqSent, smsgSent, rdmaSent, intraSent int64
 		persistChannels, persistSent            int64
+		smsgNotDone, retransmits, cqOverruns    int64
+		degraded, ctrlMsgq, creditDrained       int64
 	}
 }
 
@@ -221,11 +246,18 @@ func New(g *ugni.GNI, cfg Config) *Layer {
 	if cfg.SMPHandoff <= 0 {
 		cfg.SMPHandoff = 80 * sim.Nanosecond
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 2000 * sim.Nanosecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
 	return &Layer{
 		gni:     g,
 		cfg:     cfg,
 		smsgMax: g.MaxSmsgSize(),
 		pending: make(map[uint64]*pendingSend),
+		pendq:   make(map[uint64]*sendQueue),
 	}
 }
 
@@ -247,6 +279,15 @@ func (l *Layer) Stats() map[string]int64 {
 	set("intra_sent", l.ctr.intraSent)
 	set("persist_channels", l.ctr.persistChannels)
 	set("persist_sent", l.ctr.persistSent)
+	// Fault/recovery counters: all zero (hence omitted) in a fault-free run,
+	// keeping pre-fault-model renderings byte-identical.
+	set("smsg_not_done", l.ctr.smsgNotDone)
+	set("retransmits", l.ctr.retransmits)
+	set("cq_overruns", l.ctr.cqOverruns)
+	set("degraded_rdma", l.ctr.degraded)
+	set("ctrl_msgq_fallback", l.ctr.ctrlMsgq)
+	set("credit_drained", l.ctr.creditDrained)
+	set("smsg_credits_in_flight", l.gni.CreditsInFlight())
 	reg := l.gni.RegisteredBytes()
 	for i := range l.pools {
 		reg += l.pools[i].Stats().RegisteredBytes
@@ -282,11 +323,12 @@ func (l *Layer) Start(h lrts.Host) {
 	}
 	// One shared hook per event kind: the CQ passes its creation index (the
 	// PE) back, so no per-PE closures are needed.
-	onSmsg, onRdma := l.onSmsg, l.onRdma
+	onSmsg, onRdma, onErr := l.onSmsg, l.onRdma, l.onCqError
 	for pe := 0; pe < n; pe++ {
 		rx := &l.cqSlab[2*pe]
 		l.gni.CqInitIdx(rx, "pe", pe, ".smsg")
 		rx.OnEventIdx = onSmsg
+		rx.OnError = onErr
 		l.gni.AttachSmsgCQ(pe, rx)
 		l.rxCQ[pe] = rx
 
@@ -319,6 +361,19 @@ func (l *Layer) Close() {
 	ugni.PutCQSlab(l.cqSlab)
 	poolSlabs.Put(l.pools)
 	peSlabs.Put(l.commCPU)
+	// Release pending-send queue records (and any stranded nodes, if the
+	// run was torn down mid-starvation) in creation order.
+	for _, q := range l.pendlist {
+		for q.head != nil {
+			node := q.head
+			q.head = node.next
+			node.next, node.msg = nil, nil
+			l.qnodes.Put(node)
+		}
+		q.tail, q.n = nil, 0
+		l.queues.Put(q)
+	}
+	l.pendlist, l.pendq = nil, nil
 	l.rxCQ, l.rdmaCQ, l.cqSlab, l.pools, l.commCPU = nil, nil, nil, nil, nil
 }
 
@@ -419,22 +474,153 @@ func (l *Layer) SyncSend(ctx lrts.SendContext, msg *lrts.Message) {
 
 // sendSmall ships the message in a single SMSG (or MSGQ when configured).
 // The send CPU is charged before the wire send: the NIC only sees the
-// message once the host has issued it.
+// message once the host has issued it. An RC_NOT_DONE from the credit
+// window queues the message on the connection's pending-send queue (paper
+// Section III: "the message is put in a queue of pending messages"), to be
+// drained in FIFO order when the EvCreditReturn event reopens the window;
+// past DegradeThreshold blocked messages, smalls degrade to the GET
+// rendezvous, which needs no SMSG data credits.
 func (l *Layer) sendSmall(ctx lrts.SendContext, msg *lrts.Message) {
 	if l.cfg.UseMSGQ {
 		l.ctr.msgqSent++
 		cpu := l.gni.Net.P.HostSendCPU + l.gni.Net.P.MSGQExtraOverhead/2
 		at := l.sendStart(ctx, cpu)
-		if _, err := l.gni.MsgqSend(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at); err != nil {
+		if _, _, err := l.gni.MsgqSend(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at); err != nil {
 			panic(fmt.Sprintf("ugnimachine: msgq send: %v", err))
 		}
 		return
 	}
-	l.ctr.smsgSent++
+	src, dst := msg.SrcPE, msg.DstPE
+	if q := l.pendq[qKey(src, dst)]; q != nil && q.n > 0 {
+		// Earlier messages are already blocked on this connection: a direct
+		// send now would overtake them. Queue behind them (or degrade).
+		ctx.Charge(l.gni.Net.P.HostSendCPU)
+		if l.cfg.DegradeThreshold > 0 && q.n >= l.cfg.DegradeThreshold {
+			l.ctr.degraded++
+			l.sendLarge(ctx, msg)
+			return
+		}
+		l.enqueueSmall(q, msg)
+		return
+	}
 	at := l.sendStart(ctx, l.gni.Net.P.HostSendCPU)
-	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagDirect, msg.Size, msg, at, nil); err != nil {
+	_, rc, err := l.gni.SmsgSendWTag(src, dst, tagDirect, msg.Size, msg, at, nil)
+	if err != nil {
 		panic(fmt.Sprintf("ugnimachine: smsg send: %v", err))
 	}
+	if rc == ugni.RCNotDone {
+		l.ctr.smsgNotDone++
+		l.enqueueSmall(l.queueFor(src, dst), msg)
+		return
+	}
+	l.ctr.smsgSent++
+}
+
+// sendNode is one blocked small message; sendQueue is a per-connection
+// FIFO of them. Both are pool-acquired on the RC_NOT_DONE path and
+// released when the message finally ships (or at Close).
+type sendNode struct {
+	next *sendNode
+	msg  *lrts.Message
+}
+
+type sendQueue struct {
+	src, dst   int
+	head, tail *sendNode
+	n          int
+}
+
+// qKey is the ordered-pair pending-queue key.
+func qKey(src, dst int) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+
+// queueFor returns (creating on first starvation) the pending-send queue
+// for the src→dst connection. Queue records live until Close and are
+// reused across starvation episodes.
+func (l *Layer) queueFor(src, dst int) *sendQueue {
+	key := qKey(src, dst)
+	q := l.pendq[key]
+	if q == nil {
+		q = l.queues.Get()
+		q.src, q.dst = src, dst
+		//simlint:allow hotpathalloc -- fault path: pending-send queue registered on a connection's first RC_NOT_DONE only
+		l.pendq[key] = q
+		l.pendlist = append(l.pendlist, q)
+	}
+	return q
+}
+
+// enqueueSmall appends msg to the connection's pending-send FIFO.
+func (l *Layer) enqueueSmall(q *sendQueue, msg *lrts.Message) {
+	node := l.qnodes.Get()
+	node.next, node.msg = nil, msg
+	if q.tail == nil {
+		q.head = node
+	} else {
+		q.tail.next = node
+	}
+	q.tail = node
+	q.n++
+}
+
+// drainPending runs on an EvCreditReturn event at the sending PE: the
+// credit window toward ev.Dst reopened, so ship blocked messages in FIFO
+// order until the queue empties or the window fills again (in which case
+// the next credit return resumes the drain).
+func (l *Layer) drainPending(pe int, ev ugni.Event) {
+	q := l.pendq[qKey(ev.Src, ev.Dst)]
+	if q == nil || q.n == 0 {
+		return
+	}
+	at := l.progress(pe, ev.At, l.gni.PollCost())
+	for q.n > 0 {
+		msg := q.head.msg
+		at = l.progress(pe, at, l.gni.Net.P.HostSendCPU)
+		_, rc, err := l.gni.SmsgSendWTag(q.src, q.dst, tagDirect, msg.Size, msg, at, nil)
+		if err != nil {
+			panic(fmt.Sprintf("ugnimachine: pending drain: %v", err))
+		}
+		if rc == ugni.RCNotDone {
+			// Window refilled before the queue emptied; the sender is
+			// starved again and the next EvCreditReturn resumes here.
+			return
+		}
+		node := q.head
+		q.head = node.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		q.n--
+		node.next, node.msg = nil, nil
+		l.qnodes.Put(node)
+		l.ctr.smsgSent++
+		l.ctr.creditDrained++
+	}
+}
+
+// ctrlSend ships a protocol control message (INIT/ACK/CTS/PERSISTENT).
+// Control traffic must keep flowing for recovery to make progress, so when
+// the SMSG window is starved it degrades to MSGQ, whose per-node shared
+// queues have no per-connection credits (paper Section II-B).
+func (l *Layer) ctrlSend(src, dst int, tag uint8, payload any, at sim.Time) {
+	_, rc, err := l.gni.SmsgSendWTag(src, dst, tag, l.cfg.CtrlMsgSize, payload, at, nil)
+	if err != nil {
+		panic(fmt.Sprintf("ugnimachine: ctrl send tag %d: %v", tag, err))
+	}
+	if rc == ugni.RCNotDone {
+		l.ctr.smsgNotDone++
+		l.ctr.ctrlMsgq++
+		if _, _, err := l.gni.MsgqSend(src, dst, tag, l.cfg.CtrlMsgSize, payload, at); err != nil {
+			panic(fmt.Sprintf("ugnimachine: ctrl msgq fallback tag %d: %v", tag, err))
+		}
+	}
+}
+
+// onCqError recovers an overrun SMSG receive CQ when its back-pressure
+// window ends, mirroring the GNI_CqErrorRecover call the paper's machine
+// layer issues before resuming the progress engine.
+func (l *Layer) onCqError(pe int) {
+	l.ctr.cqOverruns++
+	l.rxCQ[pe].ErrorRecover()
 }
 
 // sendLarge runs the GET-based rendezvous of Figure 5.
@@ -451,9 +637,7 @@ func (l *Layer) sendLarge(ctx lrts.SendContext, msg *lrts.Message) {
 	init := l.inits.Get()
 	init.id, init.msg, init.size = id, msg, msg.Size
 	at := l.sendStart(ctx, l.gni.Net.P.HostSendCPU)
-	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagInit, l.cfg.CtrlMsgSize, init, at, nil); err != nil {
-		panic(fmt.Sprintf("ugnimachine: init send: %v", err))
-	}
+	l.ctrlSend(msg.SrcPE, msg.DstPE, tagInit, init, at)
 }
 
 // sendIntra ships the message over pxshm — or, in SMP mode, passes the
@@ -530,6 +714,11 @@ func (l *Layer) rdmaUnit(size int) func(*ugni.PostDesc, sim.Time) sim.Time {
 //
 //simlint:hotpath
 func (l *Layer) onSmsg(pe int, ev ugni.Event) {
+	if ev.Type == ugni.EvCreditReturn {
+		// Not a message: the credit window toward ev.Dst reopened.
+		l.drainPending(pe, ev)
+		return
+	}
 	poll := l.gni.PollCost()
 	switch ev.Tag {
 	case tagDirect:
@@ -551,9 +740,7 @@ func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 			e := l.progress(pe, ev.At, poll+allocCost+l.gni.Net.P.HostSendCPU)
 			//simlint:allow hotpathalloc -- PUT-rendezvous ablation path: deliberately unoptimized protocol variant kept for the paper's comparison
 			cts := &ctsMsg{id: id, bufCap: capacity}
-			if _, err := l.gni.SmsgSendWTag(pe, ev.Src, tagCTS, l.cfg.CtrlMsgSize, cts, e, nil); err != nil {
-				panic(fmt.Sprintf("ugnimachine: cts send: %v", err))
-			}
+			l.ctrlSend(pe, ev.Src, tagCTS, cts, e)
 			return
 		}
 		// Figure 5 receiver: allocate + register landing buffer, post GET.
@@ -635,6 +822,24 @@ type rdmaRecvState struct {
 //simlint:hotpath
 func (l *Layer) onRdma(pe int, ev ugni.Event) {
 	switch ev.Type {
+	case ugni.EvError:
+		// GNI_RC_TRANSACTION_ERROR on a posted FMA/BTE transaction: bounded
+		// retry with exponential virtual-time backoff. The descriptor (and
+		// the protocol state it tags) stays owned by the in-flight
+		// transaction, so nothing leaks across retries.
+		d := ev.Desc
+		if int(d.Attempts) > l.cfg.MaxRetries {
+			panic(fmt.Sprintf("ugnimachine: %v transaction to PE %d failed %d times",
+				d.Kind, d.Remote, d.Attempts))
+		}
+		l.ctr.retransmits++
+		if p := l.host.Eng().Probe(); p != nil {
+			p.FaultNoted(sim.FaultRetransmit, ev.At)
+		}
+		backoff := l.cfg.RetryBase << (d.Attempts - 1)
+		e := l.progress(pe, ev.At, l.gni.PollCost()+l.gni.Net.P.HostPostCPU)
+		l.rdmaUnit(d.Size)(d, e+backoff)
+
 	case ugni.EvRdmaLocal:
 		switch st := ev.Desc.UserData.(type) {
 		case *rdmaRecvState:
@@ -649,10 +854,7 @@ func (l *Layer) onRdma(pe int, ev ugni.Event) {
 			e := l.progress(pe, ev.At, poll+l.gni.Net.P.HostSendCPU)
 			ack := l.acks.Get()
 			ack.id = id
-			_, err := l.gni.SmsgSendWTag(pe, remote, tagAck, l.cfg.CtrlMsgSize, ack, e, nil)
-			if err != nil {
-				panic(fmt.Sprintf("ugnimachine: ack send: %v", err))
-			}
+			l.ctrlSend(pe, remote, tagAck, ack, e)
 			msg.ReleaseBy, msg.ReleasePE, msg.ReleaseCap, msg.ReleaseRegistered = l, pe, bufCap, true
 			l.host.Deliver(pe, msg, e)
 

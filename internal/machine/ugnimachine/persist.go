@@ -97,9 +97,9 @@ func (l *Layer) SendPersistent(ctx lrts.SendContext, h lrts.PersistentHandle, ms
 	note := l.pnotes.Get()
 	note.handle, note.seq, note.msg = h, seq, msg
 	ctx.Charge(l.gni.Net.P.HostSendCPU)
-	if _, err := l.gni.SmsgSendWTag(msg.SrcPE, msg.DstPE, tagPersist, l.cfg.CtrlMsgSize, note, ctx.Now(), nil); err != nil {
-		return fmt.Errorf("ugnimachine: persist notify: %w", err)
-	}
+	// ctrlSend degrades to MSGQ under starvation, so the notification —
+	// which the delivery depends on — can never be blocked indefinitely.
+	l.ctrlSend(msg.SrcPE, msg.DstPE, tagPersist, note, ctx.Now())
 	return nil
 }
 

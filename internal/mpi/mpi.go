@@ -50,6 +50,10 @@ type Config struct {
 	XpmemAttach sim.Time
 	// Shm is the intra-node cost model.
 	Shm shm.Model
+	// RetryBase is the virtual-time backoff unit after a transaction
+	// error on an eager-large PUT: attempt n re-posts after
+	// RetryBase << (n-1). Zero selects a 2 µs default.
+	RetryBase sim.Time
 }
 
 // DefaultConfig returns the calibrated Cray-MPI-like constants.
@@ -102,13 +106,39 @@ type Comm struct {
 	// at the end of Recv (see Envelope's doc comment).
 	envs mem.FreeList[Envelope]
 
+	// pendq holds per-ordered-(src,dst) queues of envelopes blocked on
+	// RC_NOT_DONE, drained in FIFO order on EvCreditReturn. pendlist
+	// mirrors the map in creation order for deterministic Close.
+	pendq    map[uint64]*pendQueue
+	pendlist []*pendQueue
+	pnodes   mem.FreeList[pendNode]
+	pqueues  mem.FreeList[pendQueue]
+
 	// ctr holds the per-call counters as plain fields (a string-keyed map
 	// assign per message is measurable on the hot path); Stats() converts.
 	ctr struct {
 		eagerSent, rndvSent, intraSent, recvs int64
 		udregHits, udregMisses                int64
+		smsgNotDone, retransmits              int64
 	}
 }
+
+// pendNode is one SMSG send blocked on RC_NOT_DONE; pendQueue is a
+// per-connection FIFO of them.
+type pendNode struct {
+	next *pendNode
+	tag  uint8
+	size int // wire size (CtrlMsgSize for RTS, payload size for eager)
+	env  *Envelope
+}
+
+type pendQueue struct {
+	src, dst   int
+	head, tail *pendNode
+	n          int
+}
+
+func pendKey(src, dst int) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
 
 // SMSG tags used internally.
 const (
@@ -121,6 +151,9 @@ const (
 // queues.
 func New(g *ugni.GNI, host Host, cfg Config) *Comm {
 	n := g.Net.NumPEs()
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 2000 * sim.Nanosecond
+	}
 	c := &Comm{
 		gni:       g,
 		host:      host,
@@ -128,6 +161,7 @@ func New(g *ugni.GNI, host Host, cfg Config) *Comm {
 		rxq:       rxqSlabs.Get(n),
 		onArrival: arrivalSlabs.Get(n),
 		dreg:      dregSlabs.Get(n),
+		pendq:     make(map[uint64]*pendQueue),
 	}
 	c.loop = shm.NewLoopback(host.Eng(), cfg.Shm, sim.Lit("mpi.shm"))
 	// Slab-allocate all CQs and share two method values across every rank:
@@ -166,6 +200,22 @@ func (c *Comm) Close() {
 	rxqSlabs.Put(c.rxq)
 	arrivalSlabs.Put(c.onArrival)
 	dregSlabs.Put(c.dreg)
+	// Release pending-send queue records (and any stranded nodes) in
+	// creation order.
+	for _, q := range c.pendlist {
+		for q.head != nil {
+			node := q.head
+			q.head = node.next
+			if node.env != nil {
+				c.envs.Put(node.env)
+			}
+			node.next, node.env = nil, nil
+			c.pnodes.Put(node)
+		}
+		q.tail, q.n = nil, 0
+		c.pqueues.Put(q)
+	}
+	c.pendlist, c.pendq = nil, nil
 	c.cqSlab, c.rdmaCQs, c.rxq, c.onArrival, c.dreg = nil, nil, nil, nil, nil
 }
 
@@ -184,6 +234,8 @@ func (c *Comm) Stats() map[string]int64 {
 	set("recvs", c.ctr.recvs)
 	set("udreg_hits", c.ctr.udregHits)
 	set("udreg_misses", c.ctr.udregMisses)
+	set("smsg_not_done", c.ctr.smsgNotDone)
+	set("retransmits", c.ctr.retransmits)
 	return out
 }
 
@@ -246,11 +298,7 @@ func (c *Comm) isendEager(src, dst, size int, payload any, at sim.Time) sim.Time
 	env.Src, env.Dst, env.Size, env.Payload = src, dst, size, payload
 	sendAt := at + cpu
 	if size <= c.gni.MaxSmsgSize() {
-		wire, err := c.gni.SmsgSendWTag(src, dst, tagEager, size, env, sendAt, nil)
-		if err != nil {
-			panic(fmt.Sprintf("mpi: eager smsg: %v", err))
-		}
-		return cpu + wire
+		return cpu + c.smsgOrQueue(src, dst, tagEager, size, env, sendAt)
 	}
 	// Eager-large: FMA PUT into the pre-registered eager landing zone. The
 	// descriptor has only a remote CQ, so it releases in onRdma.
@@ -271,11 +319,86 @@ func (c *Comm) isendRndv(src, dst, size int, payload any, buf BufID, at sim.Time
 	env := c.newEnv()
 	env.Src, env.Dst, env.Size, env.Payload = src, dst, size, payload
 	env.Rendezvous, env.sendBuf = true, buf
-	wire, err := c.gni.SmsgSendWTag(src, dst, tagRTS, c.cfg.CtrlMsgSize, env, at+cpu, nil)
-	if err != nil {
-		panic(fmt.Sprintf("mpi: RTS smsg: %v", err))
+	return cpu + c.smsgOrQueue(src, dst, tagRTS, c.cfg.CtrlMsgSize, env, at+cpu)
+}
+
+// smsgOrQueue ships one SMSG (eager payload or RTS), queueing the envelope
+// behind the connection's blocked sends on RC_NOT_DONE — MPI on Gemini
+// keeps the same pending-send queue the paper's machine layer does. It
+// returns the wire-issue CPU cost (zero when queued; the NIC never saw the
+// message).
+func (c *Comm) smsgOrQueue(src, dst int, tag uint8, wireSize int, env *Envelope, at sim.Time) sim.Time {
+	if q := c.pendq[pendKey(src, dst)]; q != nil && q.n > 0 {
+		// Keep FIFO: earlier sends on this connection are still blocked.
+		c.enqueuePend(q, tag, wireSize, env)
+		return 0
 	}
-	return cpu + wire
+	wire, rc, err := c.gni.SmsgSendWTag(src, dst, tag, wireSize, env, at, nil)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: smsg tag %d: %v", tag, err))
+	}
+	if rc == ugni.RCNotDone {
+		c.ctr.smsgNotDone++
+		c.enqueuePend(c.queueFor(src, dst), tag, wireSize, env)
+		return 0
+	}
+	return wire
+}
+
+// queueFor returns (creating on first starvation) the pending queue for
+// the src→dst connection.
+func (c *Comm) queueFor(src, dst int) *pendQueue {
+	key := pendKey(src, dst)
+	q := c.pendq[key]
+	if q == nil {
+		q = c.pqueues.Get()
+		q.src, q.dst = src, dst
+		//simlint:allow hotpathalloc -- fault path: pending queue registered on a connection's first RC_NOT_DONE only
+		c.pendq[key] = q
+		c.pendlist = append(c.pendlist, q)
+	}
+	return q
+}
+
+// enqueuePend appends one blocked send; the envelope's ownership moves to
+// the queue until the drain re-issues it.
+func (c *Comm) enqueuePend(q *pendQueue, tag uint8, wireSize int, env *Envelope) {
+	node := c.pnodes.Get()
+	node.next, node.tag, node.size, node.env = nil, tag, wireSize, env
+	if q.tail == nil {
+		q.head = node
+	} else {
+		q.tail.next = node
+	}
+	q.tail = node
+	q.n++
+}
+
+// drainPending re-issues blocked sends in FIFO order when the credit
+// window reopens, stopping if it fills again (the next EvCreditReturn
+// resumes).
+func (c *Comm) drainPending(ev ugni.Event) {
+	q := c.pendq[pendKey(ev.Src, ev.Dst)]
+	if q == nil || q.n == 0 {
+		return
+	}
+	for q.n > 0 {
+		node := q.head
+		_, rc, err := c.gni.SmsgSendWTag(q.src, q.dst, node.tag, node.size, node.env, ev.At, nil)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: pending drain: %v", err))
+		}
+		if rc == ugni.RCNotDone {
+			return
+		}
+		q.head = node.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		q.n--
+		node.next, node.env = nil, nil
+		c.pnodes.Put(node)
+	}
 }
 
 // isendIntra ships the message over the node-local shared-memory path.
@@ -308,6 +431,11 @@ func fireIntraArrive(arg any) {
 //
 //simlint:hotpath
 func (c *Comm) onSmsg(rank int, ev ugni.Event) {
+	if ev.Type == ugni.EvCreditReturn {
+		// Not a message: the credit window toward ev.Dst reopened.
+		c.drainPending(ev)
+		return
+	}
 	env := ev.Payload.(*Envelope)
 	c.arrive(rank, env, ev.At)
 }
@@ -317,6 +445,20 @@ func (c *Comm) onSmsg(rank int, ev ugni.Event) {
 //
 //simlint:hotpath
 func (c *Comm) onRdma(rank int, ev ugni.Event) {
+	if ev.Type == ugni.EvError {
+		// Transaction error on an eager-large PUT: bounded retry with
+		// exponential virtual-time backoff; the descriptor stays in flight.
+		d := ev.Desc
+		if d.Attempts > 8 {
+			panic(fmt.Sprintf("mpi: PUT to rank %d failed %d times", d.Remote, d.Attempts))
+		}
+		c.ctr.retransmits++
+		if p := c.host.Eng().Probe(); p != nil {
+			p.FaultNoted(sim.FaultRetransmit, ev.At)
+		}
+		c.gni.PostFma(d, ev.At+c.cfg.RetryBase<<(d.Attempts-1))
+		return
+	}
 	if ev.Type != ugni.EvRdmaRemote {
 		panic(fmt.Sprintf("mpi: unexpected RDMA event %v", ev.Type))
 	}

@@ -531,6 +531,7 @@ func (p *probeLog) Booking(r Booked, at, start, end Time) {
 	p.bookings++
 	p.booked += end - start
 }
+func (p *probeLog) FaultNoted(FaultKind, Time) {}
 
 // TestProbeObservesKernel checks that an installed probe sees every fired
 // event and every booking on both resource kinds, and that KernelStats

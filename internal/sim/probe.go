@@ -15,6 +15,62 @@ type Probe interface {
 	// Booking reports one resource booking: the requested ready time and
 	// the interval actually granted.
 	Booking(r Booked, at, start, end Time)
+	// FaultNoted reports one fault-model observation: an injected
+	// perturbation (link flap, credit squeeze, transaction error, CQ
+	// back-pressure) or a recovery action it provoked (SMSG NOT_DONE,
+	// retransmit, CQ overrun). Fault-free runs never call it.
+	FaultNoted(kind FaultKind, now Time)
+}
+
+// FaultKind classifies fault-model observations flowing through a Probe.
+type FaultKind uint8
+
+const (
+	// FaultSmsgNotDone: an SMSG send was refused with RC_NOT_DONE because
+	// the destination mailbox's credit window was exhausted.
+	FaultSmsgNotDone FaultKind = iota
+	// FaultRetransmit: a machine layer re-posted a transaction after an
+	// EvError completion.
+	FaultRetransmit
+	// FaultCqOverrun: a completion queue exceeded its finite depth and
+	// raised the overrun flag.
+	FaultCqOverrun
+	// FaultTxError: an armed one-shot transaction error fired on an
+	// FMA/BTE post.
+	FaultTxError
+	// FaultLinkFlap: a torus link was booked out for a transient outage
+	// window.
+	FaultLinkFlap
+	// FaultCreditSqueeze: a connection's SMSG credit window was
+	// temporarily narrowed.
+	FaultCreditSqueeze
+	// FaultCqBackPressure: a CQ entered a suspension (back-pressure)
+	// window.
+	FaultCqBackPressure
+
+	// NumFaultKinds sizes dense per-kind counter arrays.
+	NumFaultKinds
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSmsgNotDone:
+		return "smsg-not-done"
+	case FaultRetransmit:
+		return "retransmit"
+	case FaultCqOverrun:
+		return "cq-overrun"
+	case FaultTxError:
+		return "tx-error"
+	case FaultLinkFlap:
+		return "link-flap"
+	case FaultCreditSqueeze:
+		return "credit-squeeze"
+	case FaultCqBackPressure:
+		return "cq-backpressure"
+	}
+	return "fault?"
 }
 
 // Booked is the read-only view of a resource a Probe receives.
@@ -41,14 +97,21 @@ func (m multiProbe) Booking(r Booked, at, start, end Time) {
 	}
 }
 
+func (m multiProbe) FaultNoted(kind FaultKind, now Time) {
+	for _, p := range m {
+		p.FaultNoted(kind, now)
+	}
+}
+
 // KernelStats is the stock probe: cheap global counters plus per-resource
 // busy totals. It answers "how much simulated work did this run book, and
 // where" without any layer keeping its own tallies.
 type KernelStats struct {
-	Events      uint64 // events fired
-	Bookings    uint64 // resource acquisitions observed
-	BookedTime  Time   // sum of granted interval lengths
-	PeakPending int    // high-water mark of the event queue
+	Events      uint64                // events fired
+	Bookings    uint64                // resource acquisitions observed
+	BookedTime  Time                  // sum of granted interval lengths
+	PeakPending int                   // high-water mark of the event queue
+	Faults      [NumFaultKinds]uint64 // fault-model observations by kind
 	byRes       map[Booked]Time
 }
 
@@ -68,6 +131,20 @@ func (k *KernelStats) Booking(r Booked, at, start, end Time) {
 	k.Bookings++
 	k.BookedTime += end - start
 	k.byRes[r] += end - start
+}
+
+func (k *KernelStats) FaultNoted(kind FaultKind, now Time) {
+	k.Faults[kind]++
+}
+
+// FaultTotal sums fault-model observations across all kinds; zero in a
+// fault-free run.
+func (k *KernelStats) FaultTotal() uint64 {
+	var n uint64
+	for _, c := range k.Faults {
+		n += c
+	}
+	return n
 }
 
 // ResourceUsage is one row of a utilization snapshot.

@@ -14,6 +14,16 @@ func KernelTable(ks *sim.KernelStats, top int) *Table {
 	t := NewTable("simulation kernel", "resource", "busy", "acquires")
 	t.Note = fmt.Sprintf("events=%d bookings=%d booked=%v peak-pending=%d",
 		ks.Events, ks.Bookings, ks.BookedTime, ks.PeakPending)
+	// Fault counts appear only when the run actually saw faults, so
+	// fault-free renderings stay byte-identical to the pre-fault-model ones.
+	if ks.FaultTotal() > 0 {
+		t.Note += "\nfaults:"
+		for k := sim.FaultKind(0); k < sim.NumFaultKinds; k++ {
+			if n := ks.Faults[k]; n > 0 {
+				t.Note += fmt.Sprintf(" %s=%d", k, n)
+			}
+		}
+	}
 	for _, r := range ks.TopResources(top) {
 		t.Add(r.Name, r.Busy.String(), r.Acquires)
 	}

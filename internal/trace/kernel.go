@@ -18,6 +18,7 @@ type KernelProfile struct {
 	events   []uint64
 	booked   []sim.Time
 	maxPend  int
+	faults   uint64
 }
 
 var _ sim.Probe = (*KernelProfile)(nil)
@@ -55,6 +56,15 @@ func (k *KernelProfile) Booking(_ sim.Booked, _, start, end sim.Time) {
 		start = seg
 	}
 }
+
+// FaultNoted implements sim.Probe: fault observations are tallied but not
+// binned — the profile's job is activity density, not fault forensics.
+func (k *KernelProfile) FaultNoted(_ sim.FaultKind, _ sim.Time) {
+	k.faults++
+}
+
+// FaultsNoted reports the total fault-model observations seen.
+func (k *KernelProfile) FaultsNoted() uint64 { return k.faults }
 
 func (k *KernelProfile) grow(bin int) {
 	for len(k.events) <= bin {

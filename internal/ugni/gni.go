@@ -21,8 +21,26 @@ type GNI struct {
 	mbxBytes int64
 	amoRegs  map[amoKey]int64 // lazily created on first AMO
 
+	// conns holds per-ordered-(src,dst) SMSG credit windows, created on
+	// first send like mailboxes. The receive side returns a credit when it
+	// dequeues the message (hook invocation or GetEvent), and a sender that
+	// saw RCNotDone gets one EvCreditReturn notification per starvation
+	// episode when the window reopens.
+	conns           map[uint64]*smsgConn
+	creditsInFlight int64
+
+	// txArm counts armed one-shot transaction errors per initiator PE
+	// (nil until the fault injector arms one).
+	txArm map[int]int
+
 	msgqConns map[uint64]bool
 	msgqBytes int64
+
+	// Fault/recovery counters (see the matching accessors).
+	smsgNotDone   uint64
+	creditReturns uint64
+	txErrors      uint64
+	cqOverruns    uint64
 
 	// cqNodes pools in-flight CQ deliveries; descs pools post descriptors
 	// for callers that follow the acquire/release contract (NewPostDesc /
@@ -42,15 +60,17 @@ func New(net *gemini.Network) *GNI {
 		smsgMax: gemini.SMSGMaxSize(net.NumPEs()),
 		rxCQ:    make([]*CQ, net.NumPEs()),
 		mailbox: make(map[uint64]bool),
+		conns:   make(map[uint64]*smsgConn),
 	}
 }
 
 // MaxSmsgSize reports the largest message SMSG will carry for this job.
 func (g *GNI) MaxSmsgSize() int { return g.smsgMax }
 
-// CqCreate mirrors GNI_CqCreate: it returns an empty completion queue.
+// CqCreate mirrors GNI_CqCreate: it returns an empty completion queue with
+// the machine's configured finite depth.
 func (g *GNI) CqCreate(name string) *CQ {
-	return &CQ{name: sim.Lit(name), eng: g.Net.Eng, g: g}
+	return &CQ{name: sim.Lit(name), eng: g.Net.Eng, g: g, depth: int32(g.Net.P.CQDepth)}
 }
 
 // CqCreateIdx is CqCreate for per-PE queues ("<pre><idx><post>"): the
@@ -65,7 +85,7 @@ func (g *GNI) CqCreateIdx(pre string, idx int, post string) *CQ {
 // layers that slab-allocate their per-PE queue arrays (`make([]ugni.CQ, n)`)
 // instead of paying one heap object per queue.
 func (g *GNI) CqInitIdx(cq *CQ, pre string, idx int, post string) {
-	*cq = CQ{name: sim.Indexed(pre, idx, post), eng: g.Net.Eng, g: g, idx: int32(idx)}
+	*cq = CQ{name: sim.Indexed(pre, idx, post), eng: g.Net.Eng, g: g, idx: int32(idx), depth: int32(g.Net.P.CQDepth)}
 }
 
 // NewPostDesc acquires a zeroed post descriptor from the job-wide pool.
@@ -114,8 +134,11 @@ func (g *GNI) RegisteredBytes() int64 { return g.registeredBytes }
 // Registrations reports the cumulative GNI_MemRegister call count.
 func (g *GNI) Registrations() uint64 { return g.registrations }
 
-// MailboxBytes reports memory consumed by SMSG mailboxes. It grows with the
-// number of distinct connected PE pairs — the scalability cost the paper
+// MailboxBytes reports memory consumed by SMSG mailboxes: per connected PE
+// pair, each endpoint allocates a finite mailbox ring of SMSGCreditSlots
+// slots of SMSGSlotBytes each — the same window the credit protocol
+// enforces, so memory accounting and back-pressure accounting agree. It
+// grows with distinct connected pairs — the scalability cost the paper
 // attributes to SMSG.
 func (g *GNI) MailboxBytes() int64 { return g.mbxBytes }
 
@@ -127,10 +150,151 @@ func (g *GNI) connect(a, b int) {
 	if !g.mailbox[key] {
 		//simlint:allow hotpathalloc -- mailbox establishment: first message between a PE pair only, modeling the real one-time SMSG mailbox allocation
 		g.mailbox[key] = true
-		// Both endpoints allocate and register a mailbox.
-		g.mbxBytes += 2 * int64(g.Net.P.SMSGMailboxBytes)
+		// Both endpoints allocate and register a mailbox ring.
+		g.mbxBytes += 2 * int64(g.Net.P.SMSGMailboxBytes())
 	}
 }
+
+// smsgConn is one ordered (src→dst) connection's credit window: inflight
+// counts slots occupied in dst's mailbox, limit is the current window size
+// (narrowed by SqueezeCredits), starved marks a sender waiting for an
+// EvCreditReturn notification.
+type smsgConn struct {
+	limit    int32
+	inflight int32
+	starved  bool
+}
+
+// connKey is the ordered-pair map key (src and dst are job-local PE ranks,
+// always < 2^32).
+func connKey(src, dst int) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+
+// conn returns (creating on first use) the credit window for src→dst.
+func (g *GNI) conn(src, dst int) *smsgConn {
+	c := g.conns[connKey(src, dst)]
+	if c == nil {
+		limit := int32(g.Net.P.SMSGCreditSlots)
+		if limit <= 0 {
+			limit = 1 << 30 // unbounded: credits disabled by configuration
+		}
+		//simlint:allow hotpathalloc -- connection establishment: first message on an ordered PE pair only
+		c = &smsgConn{limit: limit}
+		//simlint:allow hotpathalloc -- connection establishment: window stored once per ordered PE pair
+		g.conns[connKey(src, dst)] = c
+	}
+	return c
+}
+
+// smsgConsumed returns one credit on the src→dst window: the receive side
+// dequeued a message, freeing its mailbox slot. If the sender starved while
+// the window was full, one EvCreditReturn notification is delivered to the
+// sender's SMSG receive CQ after the control packet flies back.
+func (g *GNI) smsgConsumed(src, dst int, now sim.Time) {
+	c := g.conns[connKey(src, dst)]
+	if c == nil {
+		return
+	}
+	c.inflight--
+	g.creditsInFlight--
+	g.creditReturns++
+	if c.starved && c.inflight < c.limit {
+		c.starved = false
+		g.notifyCreditReturn(src, dst, now)
+	}
+}
+
+// notifyCreditReturn schedules the EvCreditReturn event on the sender's
+// receive CQ, one control-packet flight away. Bare-API users without an
+// attached CQ poll the RC instead.
+func (g *GNI) notifyCreditReturn(src, dst int, now sim.Time) {
+	tx := g.rxCQ[src]
+	if tx == nil {
+		return
+	}
+	lat := g.Net.ControlLatency(g.Net.NodeOf(dst), g.Net.NodeOf(src))
+	tx.push(now+lat+g.Net.P.CQLatency, Event{
+		Type: EvCreditReturn, Src: src, Dst: dst, nocredit: true,
+	})
+}
+
+// noteFault reports a fault-model observation to the installed kernel
+// probe, if any.
+func (g *GNI) noteFault(k sim.FaultKind, now sim.Time) {
+	if p := g.Net.Eng.Probe(); p != nil {
+		p.FaultNoted(k, now)
+	}
+}
+
+// SqueezeCredits narrows the src→dst credit window to limit during
+// [from, until), then restores the configured window. Both edges are
+// virtual-time engine events, so a squeeze is deterministic like any other
+// scheduled work. Restoring wakes a starved sender.
+func (g *GNI) SqueezeCredits(src, dst, limit int, from, until sim.Time) {
+	if limit < 0 {
+		limit = 0
+	}
+	lim := int32(limit)
+	g.Net.Eng.At(from, func() {
+		g.conn(src, dst).limit = lim
+		g.noteFault(sim.FaultCreditSqueeze, from)
+	})
+	g.Net.Eng.At(until, func() {
+		c := g.conn(src, dst)
+		c.limit = int32(g.Net.P.SMSGCreditSlots)
+		if c.starved && c.inflight < c.limit {
+			c.starved = false
+			g.notifyCreditReturn(src, dst, until)
+		}
+	})
+}
+
+// ArmTxError arms n one-shot transaction errors against PE's FMA/BTE posts,
+// effective at virtual time from: each of the next n posts initiated by pe
+// completes with EvError instead of data movement.
+func (g *GNI) ArmTxError(pe, n int, from sim.Time) {
+	g.Net.Eng.At(from, func() {
+		if g.txArm == nil {
+			g.txArm = make(map[int]int)
+		}
+		g.txArm[pe] += n
+	})
+}
+
+// SuspendSmsgCQ holds back pe's SMSG receive CQ during [from, until): a CQ
+// back-pressure window. Deliveries defer (holding their mailbox credits, so
+// the stall propagates to senders as RCNotDone), and past the queue's depth
+// the overrun flag raises, to be cleared through OnError/ErrorRecover at
+// resume.
+func (g *GNI) SuspendSmsgCQ(pe int, from, until sim.Time) {
+	g.Net.Eng.At(from, func() {
+		if cq := g.rxCQ[pe]; cq != nil {
+			cq.suspended = true
+			g.noteFault(sim.FaultCqBackPressure, from)
+		}
+	})
+	g.Net.Eng.At(until, func() {
+		if cq := g.rxCQ[pe]; cq != nil {
+			cq.resume(until)
+		}
+	})
+}
+
+// SmsgNotDone reports how many sends were refused with RCNotDone.
+func (g *GNI) SmsgNotDone() uint64 { return g.smsgNotDone }
+
+// CreditReturns reports how many mailbox credits were returned by
+// receive-side dequeues.
+func (g *GNI) CreditReturns() uint64 { return g.creditReturns }
+
+// TxErrors reports how many posts completed with EvError.
+func (g *GNI) TxErrors() uint64 { return g.txErrors }
+
+// CqOverruns reports overrun episodes across all this job's CQs.
+func (g *GNI) CqOverruns() uint64 { return g.cqOverruns }
+
+// CreditsInFlight reports mailbox slots currently occupied across every
+// connection; a drained machine must bring this back to zero.
+func (g *GNI) CreditsInFlight() int64 { return g.creditsInFlight }
 
 // ErrSmsgTooBig is returned when a message exceeds the SMSG size cap.
 var ErrSmsgTooBig = errors.New("ugni: message exceeds SMSG maximum size")
@@ -138,17 +302,29 @@ var ErrSmsgTooBig = errors.New("ugni: message exceeds SMSG maximum size")
 // SmsgSendWTag mirrors GNI_SmsgSendWTag: it sends a short tagged message
 // from src to dst, ready at the caller's PE-local time `at`. The message is
 // delivered into dst's attached SMSG receive CQ. It returns the host CPU
-// cost the caller must charge. If txCQ is non-nil a TX_DONE event is
+// cost the caller must charge and the uGNI return code. RCNotDone (with a
+// nil error) means dst's mailbox credit window is full and the send did NOT
+// happen: the caller queues the message and retries when the EvCreditReturn
+// event says the window reopened. If txCQ is non-nil a TX_DONE event is
 // delivered there when the send leaves the NIC.
-func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at sim.Time, txCQ *CQ) (sim.Time, error) {
+func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at sim.Time, txCQ *CQ) (sim.Time, RC, error) {
 	if size > g.smsgMax {
-		return 0, fmt.Errorf("%w: %d > %d", ErrSmsgTooBig, size, g.smsgMax)
+		return 0, RCErrorResource, fmt.Errorf("%w: %d > %d", ErrSmsgTooBig, size, g.smsgMax)
 	}
 	g.connect(src, dst)
 	rx := g.rxCQ[dst]
 	if rx == nil {
-		return 0, fmt.Errorf("ugni: PE %d has no attached SMSG receive CQ", dst)
+		return 0, RCErrorResource, fmt.Errorf("ugni: PE %d has no attached SMSG receive CQ", dst)
 	}
+	c := g.conn(src, dst)
+	if c.inflight >= c.limit {
+		c.starved = true
+		g.smsgNotDone++
+		g.noteFault(sim.FaultSmsgNotDone, at)
+		return 0, RCNotDone, nil
+	}
+	c.inflight++
+	g.creditsInFlight++
 	// Book through the node's SMSG NIC engine (FMA hardware, mailbox
 	// protocol overhead).
 	srcDone, arrive := g.Net.Engine(g.Net.NodeOf(src), gemini.UnitSMSG).Transfer(g.Net.NodeOf(dst), size, at)
@@ -160,7 +336,7 @@ func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at si
 			Type: EvTxDone, Src: src, Dst: dst, Tag: tag, Size: size,
 		})
 	}
-	return g.Net.P.HostSendCPU, nil
+	return g.Net.P.HostSendCPU, RCSuccess, nil
 }
 
 // PostKind discriminates PUT and GET transactions.
@@ -195,6 +371,10 @@ type PostDesc struct {
 	UserData  any
 	LocalCQ   *CQ
 	RemoteCQ  *CQ
+
+	// Attempts counts transaction-error failures of this descriptor so the
+	// recovering layer can bound its retries and scale its backoff.
+	Attempts uint8
 }
 
 // PostFma mirrors GNI_PostFma: execute the transaction on the FMA unit.
@@ -209,6 +389,29 @@ func (g *GNI) PostRdma(d *PostDesc, at sim.Time) sim.Time {
 }
 
 func (g *GNI) post(d *PostDesc, unit gemini.Unit, at sim.Time) sim.Time {
+	if n := g.txArm[d.Initiator]; n > 0 {
+		// Armed one-shot transaction error: the post is accepted (the host
+		// still pays the posting cost) but fails in flight — no data moves,
+		// no bandwidth is booked, and the initiator learns via an EvError
+		// completion carrying the descriptor (GNI_RC_TRANSACTION_ERROR).
+		//simlint:allow hotpathalloc -- fault path: reached only while transaction errors are armed; clean runs take the n==0 branch
+		g.txArm[d.Initiator] = n - 1
+		d.Attempts++
+		g.txErrors++
+		g.noteFault(sim.FaultTxError, at)
+		cq := d.LocalCQ
+		if cq == nil {
+			cq = d.RemoteCQ
+		}
+		if cq == nil {
+			panic("ugni: post without any CQ hit an armed transaction error")
+		}
+		cq.push(at+g.Net.P.TxErrorLatency, Event{
+			Type: EvError, Src: d.Initiator, Dst: d.Remote, Tag: d.Tag,
+			Size: d.Size, Payload: d.Payload, Desc: d, nocredit: true,
+		})
+		return g.Net.P.HostPostCPU
+	}
 	iNode := g.Net.NodeOf(d.Initiator)
 	rNode := g.Net.NodeOf(d.Remote)
 	var localDone, remoteDone sim.Time

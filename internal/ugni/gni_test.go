@@ -19,9 +19,12 @@ func TestSmsgDelivery(t *testing.T) {
 	rx := g.CqCreate("rx")
 	dst := 24 // first core of node 1
 	g.AttachSmsgCQ(dst, rx)
-	cpu, err := g.SmsgSendWTag(0, dst, 7, 64, "hello", 0, nil)
+	cpu, rc, err := g.SmsgSendWTag(0, dst, 7, 64, "hello", 0, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rc != RCSuccess {
+		t.Fatalf("rc = %v, want RC_SUCCESS", rc)
 	}
 	if cpu <= 0 {
 		t.Fatal("send returned no CPU cost")
@@ -46,7 +49,7 @@ func TestSmsgRejectsOversize(t *testing.T) {
 	g, _ := newGNI(4)
 	rx := g.CqCreate("rx")
 	g.AttachSmsgCQ(24, rx)
-	_, err := g.SmsgSendWTag(0, 24, 0, g.MaxSmsgSize()+1, nil, 0, nil)
+	_, _, err := g.SmsgSendWTag(0, 24, 0, g.MaxSmsgSize()+1, nil, 0, nil)
 	if !errors.Is(err, ErrSmsgTooBig) {
 		t.Fatalf("err = %v, want ErrSmsgTooBig", err)
 	}
@@ -54,7 +57,7 @@ func TestSmsgRejectsOversize(t *testing.T) {
 
 func TestSmsgRequiresAttachedCQ(t *testing.T) {
 	g, _ := newGNI(4)
-	if _, err := g.SmsgSendWTag(0, 24, 0, 8, nil, 0, nil); err == nil {
+	if _, _, err := g.SmsgSendWTag(0, 24, 0, 8, nil, 0, nil); err == nil {
 		t.Fatal("send to PE without rx CQ succeeded")
 	}
 }
@@ -63,7 +66,7 @@ func TestSmsgTxDoneEvent(t *testing.T) {
 	g, eng := newGNI(4)
 	rx, tx := g.CqCreate("rx"), g.CqCreate("tx")
 	g.AttachSmsgCQ(24, rx)
-	if _, err := g.SmsgSendWTag(0, 24, 1, 128, nil, 0, tx); err != nil {
+	if _, _, err := g.SmsgSendWTag(0, 24, 1, 128, nil, 0, tx); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -84,7 +87,7 @@ func TestCQHookedModeConsumes(t *testing.T) {
 	rx.OnEvent = func(ev Event) { got = append(got, ev) }
 	g.AttachSmsgCQ(24, rx)
 	for i := 0; i < 3; i++ {
-		if _, err := g.SmsgSendWTag(0, 24, uint8(i), 8, nil, 0, nil); err != nil {
+		if _, _, err := g.SmsgSendWTag(0, 24, uint8(i), 8, nil, 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,7 +108,7 @@ func TestCQFIFOOrder(t *testing.T) {
 	rx := g.CqCreate("rx")
 	g.AttachSmsgCQ(24, rx)
 	for i := 0; i < 5; i++ {
-		if _, err := g.SmsgSendWTag(0, 24, uint8(i), 256, nil, 0, nil); err != nil {
+		if _, _, err := g.SmsgSendWTag(0, 24, uint8(i), 256, nil, 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,7 +192,7 @@ func TestMailboxMemoryGrowsPerConnection(t *testing.T) {
 		g.AttachSmsgCQ(pe, rx)
 	}
 	for pe := 24; pe < 28; pe++ {
-		if _, err := g.SmsgSendWTag(0, pe, 0, 8, nil, 0, nil); err != nil {
+		if _, _, err := g.SmsgSendWTag(0, pe, 0, 8, nil, 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -199,16 +202,21 @@ func TestMailboxMemoryGrowsPerConnection(t *testing.T) {
 	}
 	// Resending on existing connections must not grow memory.
 	for pe := 24; pe < 28; pe++ {
-		if _, err := g.SmsgSendWTag(0, pe, 0, 8, nil, 0, nil); err != nil {
+		if _, _, err := g.SmsgSendWTag(0, pe, 0, 8, nil, 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if g.MailboxBytes() != after4 {
 		t.Fatal("mailbox memory grew on reused connection")
 	}
-	want := 4 * 2 * int64(g.Net.P.SMSGMailboxBytes)
+	// The mailbox ring is the credit window: slots × slot size per
+	// endpoint, two endpoints per connection (ISSUE 5 satellite fix).
+	want := 4 * 2 * int64(g.Net.P.SMSGCreditSlots*g.Net.P.SMSGSlotBytes)
 	if after4 != want {
-		t.Fatalf("MailboxBytes = %d, want %d", after4, want)
+		t.Fatalf("MailboxBytes = %d, want %d (4 conns x 2 endpoints x slots x slot bytes)", after4, want)
+	}
+	if int64(g.Net.P.SMSGMailboxBytes()) != int64(g.Net.P.SMSGCreditSlots*g.Net.P.SMSGSlotBytes) {
+		t.Fatal("SMSGMailboxBytes() disagrees with slots x slot size")
 	}
 }
 
@@ -216,7 +224,7 @@ func TestIntraNodeSmsgWorks(t *testing.T) {
 	g, eng := newGNI(2)
 	rx := g.CqCreate("rx")
 	g.AttachSmsgCQ(1, rx)
-	if _, err := g.SmsgSendWTag(0, 1, 0, 64, nil, 0, nil); err != nil {
+	if _, _, err := g.SmsgSendWTag(0, 1, 0, 64, nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -250,7 +258,7 @@ func TestPingPongLatencyCalibration(t *testing.T) {
 	count := 0
 	rx1.OnEvent = func(ev Event) {
 		at := ev.At + g.PollCost() + g.Net.P.HostSendCPU
-		if _, err := g.SmsgSendWTag(24, 0, 0, 8, nil, at, nil); err != nil {
+		if _, _, err := g.SmsgSendWTag(24, 0, 0, 8, nil, at, nil); err != nil {
 			t.Error(err)
 		}
 	}
@@ -261,11 +269,11 @@ func TestPingPongLatencyCalibration(t *testing.T) {
 			return
 		}
 		at := ev.At + g.PollCost() + g.Net.P.HostSendCPU
-		if _, err := g.SmsgSendWTag(0, 24, 0, 8, nil, at, nil); err != nil {
+		if _, _, err := g.SmsgSendWTag(0, 24, 0, 8, nil, at, nil); err != nil {
 			t.Error(err)
 		}
 	}
-	if _, err := g.SmsgSendWTag(0, 24, 0, 8, nil, 0, nil); err != nil {
+	if _, _, err := g.SmsgSendWTag(0, 24, 0, 8, nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -368,11 +376,11 @@ func TestMsgqDeliversWithHigherLatencyLowerMemory(t *testing.T) {
 		}
 	}
 	g.AttachSmsgCQ(24, rx)
-	if _, err := g.SmsgSendWTag(0, 24, 0, 256, nil, 0, nil); err != nil {
+	if _, _, err := g.SmsgSendWTag(0, 24, 0, 256, nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
-	if _, err := g.MsgqSend(0, 24, 0, 256, nil, eng.Now()); err != nil {
+	if _, _, err := g.MsgqSend(0, 24, 0, 256, nil, eng.Now()); err != nil {
 		t.Fatal(err)
 	}
 	base := eng.Now()
@@ -384,7 +392,7 @@ func TestMsgqDeliversWithHigherLatencyLowerMemory(t *testing.T) {
 	// Memory: many PE pairs between two nodes -> one MSGQ connection.
 	for pe := 24; pe < 34; pe++ {
 		g.AttachSmsgCQ(pe, g.CqCreate("x"))
-		if _, err := g.MsgqSend(pe-24, pe, 0, 8, nil, eng.Now()); err != nil {
+		if _, _, err := g.MsgqSend(pe-24, pe, 0, 8, nil, eng.Now()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -397,7 +405,7 @@ func TestMsgqDeliversWithHigherLatencyLowerMemory(t *testing.T) {
 func TestMsgqRejectsOversize(t *testing.T) {
 	g, _ := newGNI(2)
 	g.AttachSmsgCQ(24, g.CqCreate("rx"))
-	if _, err := g.MsgqSend(0, 24, 0, g.MaxSmsgSize()+1, nil, 0); !errors.Is(err, ErrSmsgTooBig) {
+	if _, _, err := g.MsgqSend(0, 24, 0, g.MaxSmsgSize()+1, nil, 0); !errors.Is(err, ErrSmsgTooBig) {
 		t.Fatalf("err = %v", err)
 	}
 }

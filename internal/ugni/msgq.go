@@ -18,14 +18,17 @@ import (
 // MsgqSend sends a short tagged message through the per-node message
 // queues. Semantics match SmsgSendWTag (delivery into the destination PE's
 // attached SMSG receive CQ); the size cap is the same, the wire cost is
-// higher, and queue memory is accounted per node pair.
-func (g *GNI) MsgqSend(src, dst int, tag uint8, size int, payload any, at sim.Time) (sim.Time, error) {
+// higher, and queue memory is accounted per node pair. MSGQ queues are
+// shared per node rather than per PE pair, so there is no per-connection
+// credit window: MsgqSend never returns RCNotDone, which is exactly why the
+// machine layer degrades to it when SMSG is starved.
+func (g *GNI) MsgqSend(src, dst int, tag uint8, size int, payload any, at sim.Time) (sim.Time, RC, error) {
 	if size > g.smsgMax {
-		return 0, fmt.Errorf("%w: %d > %d", ErrSmsgTooBig, size, g.smsgMax)
+		return 0, RCErrorResource, fmt.Errorf("%w: %d > %d", ErrSmsgTooBig, size, g.smsgMax)
 	}
 	rx := g.rxCQ[dst]
 	if rx == nil {
-		return 0, fmt.Errorf("ugni: PE %d has no attached SMSG receive CQ", dst)
+		return 0, RCErrorResource, fmt.Errorf("ugni: PE %d has no attached SMSG receive CQ", dst)
 	}
 	sNode, dNode := g.Net.NodeOf(src), g.Net.NodeOf(dst)
 	g.connectMsgq(sNode, dNode)
@@ -34,8 +37,9 @@ func (g *GNI) MsgqSend(src, dst int, tag uint8, size int, payload any, at sim.Ti
 	_, arrive := g.Net.Engine(sNode, gemini.UnitMSGQ).Transfer(dNode, size, at)
 	rx.push(arrive+g.Net.P.CQLatency, Event{
 		Type: EvSmsg, Src: src, Dst: dst, Tag: tag, Size: size, Payload: payload,
+		nocredit: true,
 	})
-	return g.Net.P.HostSendCPU + g.Net.P.MSGQExtraOverhead/2, nil
+	return g.Net.P.HostSendCPU + g.Net.P.MSGQExtraOverhead/2, RCSuccess, nil
 }
 
 // connectMsgq accounts queue memory once per node pair.

@@ -1,0 +1,40 @@
+package ugni
+
+// RC mirrors uGNI's gni_return_t for the subset of outcomes the paper's
+// machine layer distinguishes. Calls that can fail transiently return an RC
+// alongside the host CPU cost; RCNotDone is NOT an error (err == nil) — it
+// is the back-pressure signal the caller is expected to handle by queueing
+// and retrying on a credit-return event, exactly like the real
+// GNI_RC_NOT_DONE path in the paper's Section III.
+type RC int
+
+const (
+	// RCSuccess: the call took effect (GNI_RC_SUCCESS).
+	RCSuccess RC = iota
+	// RCNotDone: transient resource exhaustion — for SmsgSendWTag, the
+	// destination mailbox's credit window is full (GNI_RC_NOT_DONE). The
+	// send did not happen; retry after credits return.
+	RCNotDone
+	// RCErrorResource: a hard resource error — oversized message, missing
+	// receive CQ (GNI_RC_ERROR_RESOURCE). Accompanied by a non-nil error.
+	RCErrorResource
+	// RCTransactionError: a posted FMA/BTE transaction failed in flight
+	// (GNI_RC_TRANSACTION_ERROR). Surfaces as an EvError completion event
+	// carrying the failed descriptor, not as a call return.
+	RCTransactionError
+)
+
+// String names the return code with its uGNI spelling.
+func (rc RC) String() string {
+	switch rc {
+	case RCSuccess:
+		return "RC_SUCCESS"
+	case RCNotDone:
+		return "RC_NOT_DONE"
+	case RCErrorResource:
+		return "RC_ERROR_RESOURCE"
+	case RCTransactionError:
+		return "RC_TRANSACTION_ERROR"
+	}
+	return "RC_?"
+}
