@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint lint-audit check fault-matrix bench-smoke bench-json profile alloc-gate
+.PHONY: build test test-race vet lint lint-audit check fault-matrix shard-matrix bench-smoke bench-json profile alloc-gate
 
 build:
 	$(GO) build ./...
@@ -41,18 +41,27 @@ check: build vet lint test test-race
 fault-matrix:
 	$(GO) test -race -count=1 -run 'TestFault' ./internal/bench/
 
+# Shard-count matrix (DESIGN.md §2.3) under the race detector: the
+# double-run determinism harness at kernel shards 1/2/4, the shard-count
+# invariance proofs (goldens, probed run, 50-seed faulted runs), and the
+# 108K-rank parallel-window workload against its lockstep oracle.
+shard-matrix:
+	$(GO) test -race -count=1 -run 'TestShardMatrixDeterminism|TestShardCountInvariance|TestFaultedShardInvariance|TestWorkerCountInvariance|TestShardScale' ./internal/bench/
+
 # Quick microbenchmark pass over the kernel hot paths plus the end-to-end
 # fig9a wall-clock benchmark.
 bench-smoke:
 	$(GO) test -run - -bench 'BenchmarkEngineScheduleFire|BenchmarkGapResourceAcquire' -benchtime 100000x ./internal/sim/
 	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 5x .
 
-# Full benchmark suite (figure wall-clock + kernel microbenchmarks) as
-# JSON, with the recorded pre-optimization baseline alongside. The output
-# file is the tracking artifact for the allocation-discipline work.
+# Full benchmark suite (figure wall-clock + sharded-kernel scaling +
+# kernel microbenchmarks) as JSON, with the recorded pre-optimization
+# baseline alongside. Each entry is the mean of 5 repeated runs with the
+# sample stddev recorded. The output file tracks both the allocation
+# discipline and the PR 6 shard-scaling work.
 bench-json:
-	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR3.json
-	@cat BENCH_PR3.json
+	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR6.json
+	@cat BENCH_PR6.json
 
 # CPU and allocation profiles of the end-to-end fig9a benchmark, written
 # to /tmp. Inspect with `go tool pprof -top /tmp/charmgo_cpu.prof` (or

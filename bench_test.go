@@ -8,8 +8,10 @@
 package charmgo_test
 
 import (
+	"fmt"
 	"testing"
 
+	"charmgo"
 	"charmgo/internal/bench"
 )
 
@@ -22,9 +24,11 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	opts := bench.Options{Quick: true, Seed: 1}
-	for i := 0; i < b.N; i++ {
+	logged := false
+	for b.Loop() {
 		tables := e.Run(opts)
-		if i == 0 {
+		if !logged {
+			logged = true
 			for _, t := range tables {
 				b.Log("\n" + t.String())
 			}
@@ -65,10 +69,41 @@ func BenchmarkFig9aWallClock(b *testing.B) {
 	}
 	opts := bench.Options{Quick: false, Seed: 1}
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	for b.Loop() {
 		e.Run(opts)
 	}
 }
+
+// runShardedWallClock benchmarks one full-axis experiment at kernel shard
+// counts 1 and 4, fanning independent data points across as many workers
+// (the lockstep kernel keeps each simulation's results bit-identical; the
+// point fan-out is where the wall-clock scaling comes from, see
+// internal/bench/parallel.go and DESIGN.md §2.3).
+func runShardedWallClock(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			prev := charmgo.SetDefaultShards(shards)
+			defer charmgo.SetDefaultShards(prev)
+			opts := bench.Options{Quick: false, Seed: 1, Workers: shards}
+			for b.Loop() {
+				e.Run(opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9aShards measures full-axis Figure 9(a) wall clock at kernel
+// shards 1 vs 4.
+func BenchmarkFig9aShards(b *testing.B) { runShardedWallClock(b, "fig9a") }
+
+// BenchmarkFig13Shards measures full-axis Figure 13 wall clock at kernel
+// shards 1 vs 4.
+func BenchmarkFig13Shards(b *testing.B) { runShardedWallClock(b, "fig13") }
 
 // BenchmarkFig9b regenerates Figure 9(b) (bandwidth).
 func BenchmarkFig9b(b *testing.B) { runExperiment(b, "fig9b") }

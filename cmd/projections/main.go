@@ -33,6 +33,7 @@ func main() {
 		chunk     = flag.Int("chunk", 1, "nqueens: task bundling")
 		system    = flag.String("system", "dhfr", "md: iapp, dhfr or apoa1")
 		steps     = flag.Int("steps", 3, "md: measured steps")
+		shards    = flag.Int("shards", 1, "kernel shards (profile is identical at any count)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		CoresPerNode: *cores / nodes,
 		Layer:        charmgo.LayerKind(*layer),
 		Tracer:       rec,
+		Shards:       *shards,
 	})
 
 	switch *app {

@@ -90,13 +90,15 @@ func printJSONDiags(diags []framework.Diagnostic) {
 	emitJSON(out)
 }
 
-// jsonSuppression is the -audit -json wire form of one allow directive.
+// jsonSuppression is the -audit -json wire form of one audited exception:
+// an allow directive or a shard-worker protocol site.
 type jsonSuppression struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Reason   string `json:"reason"`
+	Directive string `json:"directive"`
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Reason    string `json:"reason"`
 }
 
 // runAudit lists every suppression and returns the process exit code:
@@ -113,11 +115,12 @@ func runAudit(pkgs []*framework.Package, jsonOut bool) int {
 		out := make([]jsonSuppression, 0, len(sups))
 		for _, s := range sups {
 			out = append(out, jsonSuppression{
-				Analyzer: s.Analyzer,
-				File:     s.Pos.Filename,
-				Line:     s.Pos.Line,
-				Col:      s.Pos.Column,
-				Reason:   s.Reason,
+				Directive: s.Verb,
+				Analyzer:  s.Analyzer,
+				File:      s.Pos.Filename,
+				Line:      s.Pos.Line,
+				Col:       s.Pos.Column,
+				Reason:    s.Reason,
 			})
 		}
 		emitJSON(out)
@@ -125,10 +128,10 @@ func runAudit(pkgs []*framework.Package, jsonOut bool) int {
 		for _, s := range sups {
 			reason := s.Reason
 			if reason == "" {
-				reason = "(no justification — rejected by the lint run)"
+				reason = "(no justification — rejected by the audit)"
 			}
-			fmt.Printf("%s:%d:%d: allow %s -- %s\n",
-				s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Analyzer, reason)
+			fmt.Printf("%s:%d:%d: %s %s -- %s\n",
+				s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Verb, s.Analyzer, reason)
 		}
 		fmt.Fprintf(os.Stderr, "simlint: %d suppression(s)\n", len(sups))
 	}

@@ -12,6 +12,7 @@ import (
 //
 //	//simlint:allow <analyzer> -- <reason>   suppress one finding, with an audit trail
 //	//simlint:rank-handoff                   mark the audited AMPI thread handoff
+//	//simlint:shard-worker -- <reason>       mark an audited sharded-kernel window-worker site
 //	//simlint:hotpath                        doc comment: hot-path root for the call graph
 //	//simlint:acquire                        doc comment: function returns pooled/slab state
 //	//simlint:release                        doc comment: function releases pooled/slab state
@@ -50,32 +51,44 @@ func Directives(fset *token.FileSet, f *ast.File) []Directive {
 	return out
 }
 
-// Suppression is one audited `//simlint:allow` directive, as listed by
-// `simlint -audit`.
+// Suppression is one audited exception directive — an `//simlint:allow` or
+// a `//simlint:shard-worker` protocol site — as listed by `simlint -audit`.
 type Suppression struct {
 	Pos      token.Position
+	Verb     string // "allow" or "shard-worker"
 	Analyzer string
 	Reason   string
 }
 
-// Suppressions lists every allow directive of the given packages in
-// position order, for the driver's audit mode. Malformed directives
-// (no reason) are included with an empty Reason — the normal lint run
-// already rejects them.
+// Suppressions lists every allow directive — plus every shard-worker
+// protocol site, which is an audited exception of the nogoroutine analyzer
+// — of the given packages in position order, for the driver's audit mode.
+// Malformed directives (no reason) are included with an empty Reason — the
+// normal lint run already rejects bare allows, and the audit itself
+// rejects bare shard-worker sites.
 func Suppressions(pkgs []*Package) []Suppression {
 	var out []Suppression
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Syntax {
 			for _, d := range Directives(pkg.Fset, f) {
-				if d.Verb != "allow" {
-					continue
+				switch d.Verb {
+				case "allow":
+					head, reason, _ := strings.Cut(d.Args, "--")
+					out = append(out, Suppression{
+						Pos:      d.Pos,
+						Verb:     d.Verb,
+						Analyzer: strings.TrimSpace(head),
+						Reason:   strings.TrimSpace(reason),
+					})
+				case "shard-worker":
+					_, reason, _ := strings.Cut(d.Args, "--")
+					out = append(out, Suppression{
+						Pos:      d.Pos,
+						Verb:     d.Verb,
+						Analyzer: "nogoroutine",
+						Reason:   strings.TrimSpace(reason),
+					})
 				}
-				head, reason, _ := strings.Cut(d.Args, "--")
-				out = append(out, Suppression{
-					Pos:      d.Pos,
-					Analyzer: strings.TrimSpace(head),
-					Reason:   strings.TrimSpace(reason),
-				})
 			}
 		}
 	}

@@ -7,6 +7,12 @@ import (
 	"charmgo/internal/analysis/framework"
 )
 
+// schedulers are the module-relative package roots allowed to book events
+// directly: the kernel itself, the NIC engines, and the machine/scheduler
+// layers that pump them.
+var schedulers = []string{"internal/sim", "internal/gemini", "internal/shm",
+	"internal/ugni", "internal/machine", "internal/converse"}
+
 // kernelSurface maps each guarded internal/sim receiver type to its
 // booking-verb methods and the module-relative package roots allowed to
 // call them. This is the PR 1 boundary made machine-checkable: direct
@@ -17,10 +23,39 @@ var kernelSurface = map[string]map[string][]string{
 	"Engine": {
 		// Event scheduling: the kernel itself, the NIC engines, and the
 		// machine/scheduler layers that pump them.
-		"Schedule": {"internal/sim", "internal/gemini", "internal/shm",
-			"internal/ugni", "internal/machine", "internal/converse"},
-		"At": {"internal/sim", "internal/gemini", "internal/shm",
-			"internal/ugni", "internal/machine", "internal/converse"},
+		"Schedule":    schedulers,
+		"ScheduleArg": schedulers,
+		"At":          schedulers,
+		"AtArg":       schedulers,
+		"AtNode":      schedulers,
+		"AtNodeArg":   schedulers,
+	},
+	// The Kernel interface and the sharded engine expose the same booking
+	// verbs; calls through either hit the same PR 1 boundary. Most callers
+	// hold a sim.Kernel, so the interface entry is the one doing the work.
+	"Kernel": {
+		"Schedule":    schedulers,
+		"ScheduleArg": schedulers,
+		"At":          schedulers,
+		"AtArg":       schedulers,
+		"AtNode":      schedulers,
+		"AtNodeArg":   schedulers,
+	},
+	"ShardedEngine": {
+		"Schedule":    schedulers,
+		"ScheduleArg": schedulers,
+		"At":          schedulers,
+		"AtArg":       schedulers,
+		"AtNode":      schedulers,
+		"AtNodeArg":   schedulers,
+	},
+	// Parallel-window shard handles: the kernel itself and the bench
+	// harness's shard-scale workloads (which are the parallel mode's
+	// direct consumers, like tests are for the flat engine).
+	"Shard": {
+		"At":    {"internal/sim", "internal/bench"},
+		"AtArg": {"internal/sim", "internal/bench"},
+		"Send":  {"internal/sim", "internal/bench"},
 	},
 	"GapResource": {
 		// Gemini link booking is the heart of the model: only the kernel

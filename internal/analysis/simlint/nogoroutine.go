@@ -2,7 +2,9 @@ package simlint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 
 	"charmgo/internal/analysis/framework"
 )
@@ -13,17 +15,29 @@ import (
 // reproducibility argument — nondeterministic thread interleaving is the
 // main obstacle to reproducible measurement).
 //
-// The one audited exception is the AMPI rank-thread handoff in
-// internal/ampi: each rank is a user-level thread in strict lockstep with
-// the scheduler via a resume/yield channel pair, so at most one goroutine
-// runs at any instant. Those sites carry `//simlint:rank-handoff` (on the
-// function's doc comment or the line above the statement), and the analyzer
-// verifies the annotated goroutine actually follows the protocol: it must
-// first block on <-resume and hand the PE back with yield <- struct{}{}.
+// Two audited exceptions exist, both shape-verified:
+//
+// The AMPI rank-thread handoff in internal/ampi: each rank is a user-level
+// thread in strict lockstep with the scheduler via a resume/yield channel
+// pair, so at most one goroutine runs at any instant. Those sites carry
+// `//simlint:rank-handoff` (on the function's doc comment or the line above
+// the statement), and the analyzer verifies the annotated goroutine actually
+// follows the protocol: it must first block on <-resume and hand the PE back
+// with yield <- struct{}{}.
+//
+// The sharded-kernel window workers in internal/sim (and the bench point
+// workers built on the same shape): a coordinator hands a horizon to each
+// shard over a `work` channel and collects results over `done`, with a full
+// barrier between windows, so worker interleaving can never reorder events
+// (DESIGN.md §2.3). Those sites carry `//simlint:shard-worker -- <reason>`
+// and the analyzer verifies the spawned goroutine is exactly the worker
+// loop: a bare for whose first act is a two-value receive from `work`,
+// followed by `if !ok { return }`, and which reports on `done`.
 var NoGoroutine = &framework.Analyzer{
 	Name: "nogoroutine",
 	Doc: "forbid goroutines and channel ops in simulation code, except the " +
-		"annotated (//simlint:rank-handoff) AMPI resume/yield handoff",
+		"annotated (//simlint:rank-handoff) AMPI resume/yield handoff and the " +
+		"annotated (//simlint:shard-worker) sharded-kernel window workers",
 	Run: runNoGoroutine,
 }
 
@@ -32,61 +46,109 @@ func runNoGoroutine(pass *framework.Pass) error {
 		return nil
 	}
 	inAmpi := under(rel(pass.PkgPath), "internal/ampi")
-	// Lines carrying a statement-level rank-handoff annotation, per file.
-	annotated := make(map[*ast.File]map[int]bool)
-	for _, f := range pass.Files {
-		lines := make(map[int]bool)
-		for _, d := range framework.Directives(pass.Fset, f) {
-			if d.Verb == "rank-handoff" {
-				lines[d.Pos.Line] = true
-			}
-		}
-		annotated[f] = lines
-	}
+	// The shard-worker protocol is confined to the kernel itself and the
+	// bench harness's point workers; annotations elsewhere don't count.
+	inShard := under(rel(pass.PkgPath), "internal/sim") ||
+		under(rel(pass.PkgPath), "internal/bench")
+	// Lines carrying a statement-level annotation, per file and verb.
+	rank := annotatedLines(pass, "rank-handoff")
+	shard := annotatedLines(pass, "shard-worker")
 	for _, fi := range pass.Functions() {
 		if fi.Decl == nil || isTestFile(pass, fi.Pos()) {
 			continue // literals are checked within their enclosing declaration
 		}
-		lines := annotated[fi.File]
-		stmtAnnotated := func(n ast.Node) bool {
-			line := pass.Fset.Position(n.Pos()).Line
-			return lines[line] || lines[line-1]
+		c := &goroutineCtx{
+			pass:   pass,
+			inAmpi: inAmpi,
+			rankAnnotated:  lineChecker(pass, rank[fi.File]),
+			shardAnnotated: lineChecker(pass, shard[fi.File]),
+		}
+		if !inShard {
+			c.shardAnnotated = func(ast.Node) bool { return false }
 		}
 		fd := fi.Decl
-		funcOK := inAmpi && (docAnnotated(fd) || stmtAnnotated(fd))
-		walkNoGoroutine(pass, fd.Body, inAmpi, funcOK, stmtAnnotated)
+		allowRank := inAmpi && (docDirective(fd, "rank-handoff") || c.rankAnnotated(fd))
+		allowShard := inShard && (docDirective(fd, "shard-worker") || c.shardAnnotated(fd))
+		c.walk(fd.Body, allowRank, allowShard)
 	}
 	return nil
 }
 
-// walkNoGoroutine checks one subtree. allow is true inside audited handoff
-// code — a function annotated with //simlint:rank-handoff, or the body of
-// a goroutine whose `go` statement carries the annotation — where the
-// resume/yield channel pair may be used (other channels stay forbidden).
-func walkNoGoroutine(pass *framework.Pass, root ast.Node, inAmpi, allow bool, stmtAnnotated func(ast.Node) bool) {
+// goroutineCtx carries the per-function annotation state through the walk.
+type goroutineCtx struct {
+	pass           *framework.Pass
+	inAmpi         bool
+	rankAnnotated  func(ast.Node) bool
+	shardAnnotated func(ast.Node) bool
+}
+
+// annotatedLines collects, per file, the lines carrying a statement-level
+// directive of the given verb.
+func annotatedLines(pass *framework.Pass, verb string) map[*ast.File]map[int]bool {
+	out := make(map[*ast.File]map[int]bool)
+	for _, f := range pass.Files {
+		lines := make(map[int]bool)
+		for _, d := range framework.Directives(pass.Fset, f) {
+			if d.Verb == verb {
+				lines[d.Pos.Line] = true
+			}
+		}
+		out[f] = lines
+	}
+	return out
+}
+
+// lineChecker reports whether a node sits on (or one line below) an
+// annotated line.
+func lineChecker(pass *framework.Pass, lines map[int]bool) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		line := pass.Fset.Position(n.Pos()).Line
+		return lines[line] || lines[line-1]
+	}
+}
+
+// walk checks one subtree. allowRank is true inside audited handoff code —
+// a function annotated with //simlint:rank-handoff, or the body of a
+// goroutine whose `go` statement carries the annotation — where the
+// resume/yield channel pair may be used. allowShard likewise permits the
+// work/done window-coordination channels inside //simlint:shard-worker
+// code. All other channels stay forbidden.
+func (c *goroutineCtx) walk(root ast.Node, allowRank, allowShard bool) {
+	pass := c.pass
 	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
-			ann := allow || (inAmpi && stmtAnnotated(n))
-			checkGoStmt(pass, n, inAmpi, ann)
+			shardAnn := allowShard || c.shardAnnotated(n)
+			rankAnn := allowRank || (c.inAmpi && c.rankAnnotated(n))
+			if shardAnn && !rankAnn {
+				if !shardWorkerShape(n) {
+					pass.Reportf(n.Pos(), "annotated shard-worker goroutine breaks the protocol: "+
+						"the worker must loop on a two-value receive from work, return when it "+
+						"is closed, and report on done")
+				}
+			} else {
+				checkGoStmt(pass, n, c.inAmpi, rankAnn)
+			}
 			// Descend manually so the protocol channels inside an
 			// annotated goroutine are permitted.
 			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
-				walkNoGoroutine(pass, lit.Body, inAmpi, ann, stmtAnnotated)
+				c.walk(lit.Body, rankAnn, shardAnn)
 				for _, arg := range n.Call.Args {
-					walkNoGoroutine(pass, arg, inAmpi, allow, stmtAnnotated)
+					c.walk(arg, allowRank, allowShard)
 				}
 				return false
 			}
 		case *ast.SendStmt:
-			if !(allow && handoffChan(n.Chan)) {
+			if !(allowRank && handoffChan(n.Chan)) && !(allowShard && shardChan(n.Chan)) {
 				pass.Reportf(n.Pos(), "channel send in simulation code: "+
-					"only the annotated AMPI resume/yield handoff may use channels")
+					"only the annotated AMPI resume/yield handoff and the "+
+					"shard-worker window protocol may use channels")
 			}
 		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" && !(allow && handoffChan(n.X)) {
+			if n.Op.String() == "<-" && !(allowRank && handoffChan(n.X)) && !(allowShard && shardChan(n.X)) {
 				pass.Reportf(n.Pos(), "channel receive in simulation code: "+
-					"only the annotated AMPI resume/yield handoff may use channels")
+					"only the annotated AMPI resume/yield handoff and the "+
+					"shard-worker window protocol may use channels")
 			}
 		case *ast.SelectStmt:
 			pass.Reportf(n.Pos(), "select in simulation code: scheduling must be "+
@@ -98,24 +160,76 @@ func walkNoGoroutine(pass *framework.Pass, root ast.Node, inAmpi, allow bool, st
 				}
 			}
 		case *ast.CallExpr:
-			checkChanBuiltins(pass, n, allow)
+			checkChanBuiltins(pass, n, allowRank || allowShard)
 		}
 		return true
 	})
 }
 
-// docAnnotated reports a `//simlint:rank-handoff` directive in the
-// function's doc comment.
-func docAnnotated(fd *ast.FuncDecl) bool {
+// docDirective reports a `//simlint:<verb>` directive (optionally followed
+// by a `-- reason`) in the function's doc comment.
+func docDirective(fd *ast.FuncDecl, verb string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if c.Text == "//simlint:rank-handoff" {
+		rest, ok := strings.CutPrefix(c.Text, "//simlint:"+verb)
+		if ok && (rest == "" || strings.HasPrefix(rest, " ")) {
 			return true
 		}
 	}
 	return false
+}
+
+// shardChan reports whether a channel expression names one of the two
+// audited window-coordination channels.
+func shardChan(x ast.Expr) bool {
+	return isNamed(x, "work") || isNamed(x, "done")
+}
+
+// shardWorkerShape checks the window-worker protocol on an annotated
+// goroutine: the body is exactly one bare for loop whose first statement is
+// a two-value receive from `work`, whose second statement returns when the
+// channel is closed, and which sends a result on `done`. Anything else —
+// extra statements before the loop, a conditional receive, a worker that
+// keeps running after `work` closes — is a protocol break, not a style
+// issue: the coordinator's barrier proof depends on this exact shape.
+func shardWorkerShape(g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok || len(lit.Body.List) != 1 {
+		return false
+	}
+	loop, ok := lit.Body.List[0].(*ast.ForStmt)
+	if !ok || loop.Init != nil || loop.Cond != nil || loop.Post != nil || len(loop.Body.List) < 2 {
+		return false
+	}
+	recv, ok := loop.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(recv.Lhs) != 2 || len(recv.Rhs) != 1 {
+		return false
+	}
+	un, ok := recv.Rhs[0].(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW || !isNamed(un.X, "work") {
+		return false
+	}
+	ifs, ok := loop.Body.List[1].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
+		return false
+	}
+	neg, ok := ifs.Cond.(*ast.UnaryExpr)
+	if !ok || neg.Op != token.NOT {
+		return false
+	}
+	if _, ok := ifs.Body.List[0].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	reports := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok && isNamed(s.Chan, "done") {
+			reports = true
+		}
+		return true
+	})
+	return reports
 }
 
 // handoffChan reports whether a channel expression names one of the two

@@ -29,7 +29,8 @@ func TestMapOrder(t *testing.T) {
 
 func TestNoGoroutine(t *testing.T) {
 	framework.RunFixture(t, fixtureRoot("nogoroutine"), NoGoroutine,
-		"charmgo/internal/converse", "charmgo/internal/ampi")
+		"charmgo/internal/converse", "charmgo/internal/ampi",
+		"charmgo/internal/sim")
 }
 
 func TestBookViaKernel(t *testing.T) {

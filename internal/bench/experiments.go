@@ -22,6 +22,11 @@ type Options struct {
 	Quick bool
 	// Seed for workloads with random placement.
 	Seed uint64
+	// Workers fans independent experiment points across that many
+	// goroutines (see forEachPoint). 0 or 1 runs sequentially. Results
+	// are byte-identical at any worker count: each point is its own
+	// simulation and lands in its own result slot.
+	Workers int
 }
 
 // Experiment is one reproducible figure or table.
@@ -189,18 +194,27 @@ func Fig8c(o Options) []*stats.Table {
 	return []*stats.Table{t}
 }
 
-// Fig9a is the headline latency comparison across all five systems.
+// Fig9a is the headline latency comparison across all five systems. Each
+// size is an independent set of simulations, computed into its own row
+// slot (possibly in parallel, see Options.Workers) and rendered in order.
 func Fig9a(o Options) []*stats.Table {
-	t := stats.NewTable("Fig 9a: one-way latency (us)",
-		"size", "charm/ugni", "charm/mpi", "MPI same-buf", "MPI diff-buf", "pure uGNI")
-	for _, size := range o.sizes(8, 4<<20) {
-		t.Add(stats.SizeLabel(size),
+	sizes := o.sizes(8, 4<<20)
+	rows := make([][5]float64, len(sizes))
+	o.forEachPoint(len(sizes), func(i int) {
+		size := sizes[i]
+		rows[i] = [5]float64{
 			us(CharmPingPong{Layer: charmgo.LayerUGNI, Size: size}.OneWay()),
 			us(CharmPingPong{Layer: charmgo.LayerMPI, Size: size}.OneWay()),
 			us(PureMPIOneWay(size, true, false)),
 			us(PureMPIOneWay(size, false, false)),
 			us(PureUGNIOneWay(size)),
-		)
+		}
+	})
+	t := stats.NewTable("Fig 9a: one-way latency (us)",
+		"size", "charm/ugni", "charm/mpi", "MPI same-buf", "MPI diff-buf", "pure uGNI")
+	for i, size := range sizes {
+		r := rows[i]
+		t.Add(stats.SizeLabel(size), r[0], r[1], r[2], r[3], r[4])
 	}
 	return []*stats.Table{t}
 }
@@ -370,19 +384,23 @@ func Fig13(o Options) []*stats.Table {
 		}{{md.IAPP, 48}, {md.DHFR, 192}}
 		steps, warm = 2, 1
 	}
+	// Each (system, layer) pair is an independent simulation: 2 points per
+	// case, fanned across Options.Workers, rendered in case order.
+	layers := [2]charmgo.LayerKind{charmgo.LayerMPI, charmgo.LayerUGNI}
+	results := make([][2]float64, len(cases))
+	o.forEachPoint(len(cases)*2, func(i int) {
+		c := cases[i/2]
+		m := queensMachine(c.cores, layers[i%2], nil)
+		r := md.Run(m, md.Config{
+			System: c.sys, Steps: steps, Warmup: warm, LB: true, Seed: o.Seed,
+		})
+		closeMachine(m)
+		results[i/2][i%2] = r.MsPerStep
+	})
 	t := stats.NewTable("Fig 13: mini-NAMD weak scaling, PME every step (ms/step)",
 		"system(cores)", "charm/mpi", "charm/ugni", "improvement")
-	for _, c := range cases {
-		run := func(layer charmgo.LayerKind) float64 {
-			m := queensMachine(c.cores, layer, nil)
-			r := md.Run(m, md.Config{
-				System: c.sys, Steps: steps, Warmup: warm, LB: true, Seed: o.Seed,
-			})
-			closeMachine(m)
-			return r.MsPerStep
-		}
-		mpiMS := run(charmgo.LayerMPI)
-		ugniMS := run(charmgo.LayerUGNI)
+	for i, c := range cases {
+		mpiMS, ugniMS := results[i][0], results[i][1]
 		t.Add(fmt.Sprintf("%s(%d)", c.sys.Name, c.cores), mpiMS, ugniMS,
 			fmt.Sprintf("%.0f%%", (mpiMS-ugniMS)/mpiMS*100))
 	}

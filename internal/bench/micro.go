@@ -14,6 +14,7 @@ import (
 	"charmgo/internal/mem"
 	"charmgo/internal/mpi"
 	"charmgo/internal/sim"
+	"charmgo/internal/topology"
 	"charmgo/internal/ugni"
 )
 
@@ -22,10 +23,23 @@ import (
 const pingIters = 20
 
 // newStack builds a bare network + GNI (no runtime) for pure benchmarks.
-func newStack(nodes int) (*sim.Engine, *gemini.Network, *ugni.GNI) {
-	eng := sim.NewEngine()
+// Like charmgo.NewMachine it honors the package-default shard count, so
+// shard-invariance tests cover the pure paths too.
+func newStack(nodes int) (sim.Kernel, *gemini.Network, *ugni.GNI) {
+	eng := newKernel(nodes)
 	net := gemini.NewNetwork(eng, nodes, gemini.DefaultParams())
 	return eng, net, ugni.New(net)
+}
+
+// newKernel builds the simulation kernel for a bare stack: flat by
+// default, lockstep-sharded when charmgo.SetDefaultShards raised the
+// default.
+func newKernel(nodes int) sim.Kernel {
+	if s := charmgo.DefaultShards(); s > 1 {
+		part := topology.PartitionTorus(topology.Shape(nodes), nodes, s)
+		return sim.NewShardedEngine(part.Shards, part.NodeShard())
+	}
+	return sim.NewEngine()
 }
 
 // closeMachine tears a full runtime stack down after a measurement,
@@ -116,14 +130,14 @@ func FigureFourPoint(size int, unit gemini.Unit, get bool) sim.Time {
 // mpiHost adapts a bare CPU set to mpi.Host for pure-MPI benchmarks. The
 // CPUs live in one slab (one allocation for the whole host).
 type mpiHost struct {
-	eng  *sim.Engine
+	eng  sim.Kernel
 	cpus []sim.PEResource
 }
 
 // hostPESlabs recycles the pure-MPI host's CPU slab across measurements.
 var hostPESlabs mem.SlabCache[sim.PEResource]
 
-func newMPIHost(eng *sim.Engine, n int) *mpiHost {
+func newMPIHost(eng sim.Kernel, n int) *mpiHost {
 	h := &mpiHost{eng: eng, cpus: hostPESlabs.Get(n)}
 	for i := range h.cpus {
 		sim.InitPEResource(&h.cpus[i], sim.Indexed("cpu", i, ""))
@@ -136,7 +150,7 @@ func (h *mpiHost) close() {
 	h.cpus = nil
 }
 
-func (h *mpiHost) Eng() *sim.Engine             { return h.eng }
+func (h *mpiHost) Eng() sim.Kernel              { return h.eng }
 func (h *mpiHost) CPU(rank int) *sim.PEResource { return &h.cpus[rank] }
 
 // PureMPIOneWay measures MPI ping-pong one-way latency. With sameBuf the

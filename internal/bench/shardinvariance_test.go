@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"testing"
+
+	"charmgo"
+	"charmgo/internal/fault"
+	"charmgo/internal/sim"
+)
+
+// This file is the runtime half of the sharded-kernel contract: the
+// lockstep ShardedEngine must reproduce the flat engine's results
+// bit-for-bit at every shard count — rendered experiment tables, probed
+// kernel statistics, and faulted runs alike (DESIGN.md §2.3).
+
+// withShards runs fn with the package-default kernel shard count forced
+// to n, restoring the previous default afterwards.
+func withShards(n int, fn func()) {
+	prev := charmgo.SetDefaultShards(n)
+	defer charmgo.SetDefaultShards(prev)
+	fn()
+}
+
+// TestShardCountInvarianceGoldens renders fig4/fig8b/fig9a at shards
+// 1, 2, 4 and requires byte-identical output.
+func TestShardCountInvarianceGoldens(t *testing.T) {
+	o := Options{Quick: true}
+	for _, id := range []string{"fig4", "fig8b", "fig9a"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %q not found", id)
+		}
+		var base string
+		withShards(1, func() { base = RenderTables(e.Run(o)) })
+		if base == "" {
+			t.Fatalf("%s rendered empty at shards=1", id)
+		}
+		for _, shards := range []int{2, 4} {
+			var got string
+			withShards(shards, func() { got = RenderTables(e.Run(o)) })
+			if got != base {
+				t.Errorf("%s differs at shards=%d:\n--- shards=1\n%s--- shards=%d\n%s",
+					id, shards, base, shards, got)
+			}
+		}
+	}
+}
+
+// TestShardCountInvarianceProbe runs the deepest probed workload we have
+// (AMPI ring+allreduce with KernelStats attached) at shards 1, 2, 4: the
+// probe stream — event counts, peak pending, booking totals — must be
+// identical, not just the virtual end time.
+func TestShardCountInvarianceProbe(t *testing.T) {
+	var base string
+	withShards(1, func() { base = KernelProbeRun() })
+	for _, shards := range []int{2, 4} {
+		var got string
+		withShards(shards, func() { got = KernelProbeRun() })
+		if got != base {
+			t.Errorf("kernel probe run differs at shards=%d:\n--- shards=1\n%s--- shards=%d\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
+// TestFaultedShardInvariance draws 50 seeded random fault schedules and
+// requires the faulted workload's canonical rendering (final time, layer
+// counters, probe fault counts) to be byte-identical at shards 1, 2, 4 —
+// the injector's events must land on the owning shard without perturbing
+// the replay.
+func TestFaultedShardInvariance(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	cfg := fault.Random{
+		PEs: faultPEs, Links: 8, Horizon: faultHorizon, Ops: 6,
+		MaxWindow: faultHorizon / 3,
+	}
+	var stressed int
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		s := fault.RandomSchedule(seed, cfg)
+		var base faultResult
+		withShards(1, func() { base, _ = runFaultWorkload(nil, nil, s) })
+		if base.faults != ([sim.NumFaultKinds]uint64{}) {
+			stressed++
+		}
+		for _, shards := range []int{2, 4} {
+			var got faultResult
+			withShards(shards, func() { got, _ = runFaultWorkload(nil, nil, s) })
+			if got.render != base.render {
+				t.Fatalf("seed %d shards=%d faulted render differs:\n--- shards=1\n%s--- shards=%d\n%s\nschedule:\n%s",
+					seed, shards, base.render, shards, got.render, s)
+			}
+		}
+	}
+	if stressed == 0 {
+		t.Fatal("no random schedule produced a fault observation; the invariance test is vacuous")
+	}
+	t.Logf("%d/%d schedules exercised fault paths identically across shard counts", stressed, seeds)
+}
+
+// TestShardMatrixDeterminism is the shard-matrix gate (`make
+// shard-matrix`, CI step "Shard matrix"): the double-run determinism
+// harness at kernel shards 1, 2, 4. A representative experiment slice —
+// one per machine layer family — keeps the -race matrix affordable; the
+// full sweep runs at the default shard count in
+// TestExperimentsDeterministic.
+func TestShardMatrixDeterminism(t *testing.T) {
+	ids := []string{"fig4", "fig8b", "fig9a", "fig13"}
+	for _, shards := range []int{1, 2, 4} {
+		for _, id := range ids {
+			e, ok := Find(id)
+			if !ok {
+				t.Fatalf("experiment %q not found", id)
+			}
+			withShards(shards, func() {
+				first, second := DoubleRun(e, Options{Quick: true, Seed: 1})
+				if first != second {
+					t.Errorf("%s nondeterministic at shards=%d:\n--- first\n%s--- second\n%s",
+						id, shards, first, second)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkerCountInvariance renders the two paper-scale wall-clock
+// benchmarks' experiments with the point fan-out enabled: results must be
+// byte-identical to the sequential run — workers change wall time only.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"fig9a", "fig13"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %q not found", id)
+		}
+		base := RenderTables(e.Run(Options{Quick: true, Seed: 1}))
+		got := RenderTables(e.Run(Options{Quick: true, Seed: 1, Workers: 4}))
+		if got != base {
+			t.Errorf("%s differs at Workers=4:\n--- sequential\n%s--- workers=4\n%s", id, base, got)
+		}
+	}
+}

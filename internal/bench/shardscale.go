@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+
+	"charmgo/internal/gemini"
+	"charmgo/internal/sim"
+	"charmgo/internal/topology"
+)
+
+// This file is the tentpole's scale demonstration: a fig13-shaped workload
+// — mini-NAMD's communication skeleton, a 3D halo exchange with a fixed
+// per-step compute cost per rank — run directly on the parallel-window
+// sharded kernel at the paper's machine scale (100K+ simulated ranks,
+// beyond what the sequential PR 1 loop could sweep). It does not use the
+// full machine stack: the stack's shared link model serializes under the
+// lockstep kernel by design. Instead each node is one event stream on its
+// owning shard, cross-node halos travel via Shard.Send with the gemini
+// lookahead bound, and the result checksum is commutative, so the run is
+// bit-identical at every shard count while the shards execute windows
+// concurrently.
+
+// ShardScaleConfig sizes a ShardScaleRun.
+type ShardScaleConfig struct {
+	// Nodes is the simulated node count (24 ranks each, the XE6 node of
+	// the paper).
+	Nodes int
+	// RanksPerNode is the paper's 24 unless overridden (> 0).
+	RanksPerNode int
+	// Steps is the number of halo-exchange timesteps.
+	Steps int
+	// Shards partitions the torus; 1 runs the flat-equivalent lockstep.
+	Shards int
+	// Parallel runs conservative windows on worker goroutines; otherwise
+	// the lockstep merge executes sequentially (the determinism oracle).
+	Parallel bool
+}
+
+// ShardScaleResult summarizes a run for the harness and its tests.
+type ShardScaleResult struct {
+	Nodes, Ranks, Shards int
+	Steps                int
+	Parallel             bool
+	Lookahead            sim.Time
+	End                  sim.Time
+	Fired                uint64
+	Checksum             uint64
+}
+
+func (r ShardScaleResult) String() string {
+	mode := "lockstep"
+	if r.Parallel {
+		mode = "parallel"
+	}
+	return fmt.Sprintf("shardscale: %d nodes / %d ranks, %d steps, %d shards (%s, L=%v): end=%v fired=%d checksum=%016x",
+		r.Nodes, r.Ranks, r.Steps, r.Shards, mode, r.Lookahead, r.End, r.Fired, r.Checksum)
+}
+
+// scaleNode is one simulated node's state: 24 ranks' worth of local work
+// folded into a running checksum, plus the halo contributions received
+// this step. All fields are touched only by events on the owning shard.
+type scaleNode struct {
+	w        *scaleWorld
+	id       int
+	rng      uint64
+	sum      uint64
+	inbox    uint64 // halo contributions accumulated for the next step
+	neighbor [6]int
+	step     int
+}
+
+// haloMsg is one cross-node halo contribution. Records are preallocated
+// per (node, direction): each is in flight at most once per step.
+type haloMsg struct {
+	w   *scaleWorld
+	dst int
+	val uint64
+}
+
+type scaleWorld struct {
+	cfg      ShardScaleConfig
+	handles  []*sim.Shard // handle of each node's owning shard
+	nodes    []scaleNode
+	msgs     []haloMsg // 6 per node, indexed node*6+dir
+	stepTime sim.Time
+	sendLag  sim.Time
+}
+
+// xorshift is the per-rank work kernel: cheap, stateful, order-sensitive
+// within a node (events on one node are sequential) and commutative across
+// halo contributions (inbox is a sum).
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// nodeStep advances one node by one timestep: per-rank compute, then halo
+// sends to the six torus neighbors, landing sendLag later — at least the
+// kernel lookahead, as a real halo message would after injection + hops.
+func nodeStep(arg any) {
+	n := arg.(*scaleNode)
+	w := n.w
+	ranks := w.cfg.RanksPerNode
+	for r := 0; r < ranks; r++ {
+		n.rng = xorshift(n.rng + uint64(r))
+		n.sum += n.rng
+	}
+	n.sum += n.inbox
+	n.inbox = 0
+	n.step++
+	sh := w.handles[n.id]
+	now := sh.Now()
+	if n.step < w.cfg.Steps {
+		sh.AtArg(now+w.stepTime, nodeStep, n)
+	}
+	if n.step <= w.cfg.Steps {
+		for d := range n.neighbor {
+			m := &w.msgs[n.id*6+d]
+			m.val = n.rng ^ uint64(d)
+			sh.Send(m.dst, now+w.sendLag, deliverHalo, m)
+		}
+	}
+}
+
+// deliverHalo lands one halo contribution on the destination node's shard.
+func deliverHalo(arg any) {
+	m := arg.(*haloMsg)
+	m.w.nodes[m.dst].inbox += m.val
+}
+
+// ShardScaleRun executes the workload and reports the commutative result.
+func ShardScaleRun(cfg ShardScaleConfig) ShardScaleResult {
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = 24
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	t := topology.Shape(cfg.Nodes)
+	part := topology.PartitionTorus(t, cfg.Nodes, cfg.Shards)
+	params := gemini.DefaultParams()
+	la := params.ShardLookahead(part.MinCrossHops())
+
+	se := sim.NewParallelEngine(part.Shards, part.NodeShard(), la)
+	w := &scaleWorld{
+		cfg:      cfg,
+		handles:  make([]*sim.Shard, cfg.Nodes),
+		nodes:    make([]scaleNode, cfg.Nodes),
+		msgs:     make([]haloMsg, cfg.Nodes*6),
+		stepTime: 10 * sim.Microsecond,
+		sendLag:  la + sim.Microsecond,
+	}
+	for i := range w.handles {
+		w.handles[i] = se.ShardHandle(part.ShardOf(i))
+	}
+	for i := range w.nodes {
+		n := &w.nodes[i]
+		n.w = w
+		n.id = i
+		n.rng = uint64(i)*0x9e3779b97f4a7c15 + 1
+		x, y, z := t.Coords(i)
+		n.neighbor = [6]int{
+			t.Node(x+1, y, z), t.Node(x-1, y, z),
+			t.Node(x, y+1, z), t.Node(x, y-1, z),
+			t.Node(x, y, z+1), t.Node(x, y, z-1),
+		}
+		for d := range n.neighbor {
+			w.msgs[i*6+d] = haloMsg{w: w, dst: n.neighbor[d]}
+		}
+		w.handles[i].AtArg(0, nodeStep, n)
+	}
+
+	var fired uint64
+	if cfg.Parallel {
+		fired = se.RunParallel()
+	} else {
+		fired = se.Run()
+	}
+
+	var sum uint64
+	for i := range w.nodes {
+		sum += w.nodes[i].sum * (uint64(i)*2 + 1)
+	}
+	return ShardScaleResult{
+		Nodes: cfg.Nodes, Ranks: cfg.Nodes * cfg.RanksPerNode,
+		Shards: cfg.Shards, Steps: cfg.Steps, Parallel: cfg.Parallel,
+		Lookahead: la, End: se.Now(), Fired: fired, Checksum: sum,
+	}
+}

@@ -18,7 +18,7 @@ import (
 // here are thin delegations kept for callers that address engines by
 // (node, Unit).
 type Network struct {
-	Eng  *sim.Engine
+	Eng  sim.Kernel
 	Topo topology.Torus
 	P    Params
 
@@ -62,8 +62,10 @@ type Node struct {
 }
 
 // NewNetwork builds a machine with the given node count. The torus shape is
-// chosen near-cubic via topology.Shape.
-func NewNetwork(eng *sim.Engine, nodes int, p Params) *Network {
+// chosen near-cubic via topology.Shape. The kernel may be a flat
+// sim.Engine or a sharded one — the network schedules through the Kernel
+// surface either way.
+func NewNetwork(eng sim.Kernel, nodes int, p Params) *Network {
 	if nodes <= 0 {
 		panic(fmt.Sprintf("gemini: NewNetwork with %d nodes", nodes))
 	}
@@ -234,6 +236,16 @@ func (n *Network) pathLatency(a, b int) sim.Time {
 // ControlLatency reports the one-way flight time of a small control packet
 // from one node to another with no bandwidth booking.
 func (n *Network) ControlLatency(a, b int) sim.Time { return n.pathLatency(a, b) }
+
+// ShardLookahead reports the conservative cross-shard synchronization
+// bound for a partition of this network's nodes: no event on one shard
+// can cause an event on another sooner than InjectionLatency +
+// minCrossHops × HopLatency — the same per-hop cost structure bookPath
+// charges every message, measured over the partition's boundary adjacency
+// (the minimum is exact for the slab partitions PartitionTorus builds).
+func (n *Network) ShardLookahead(p topology.Partition) sim.Time {
+	return n.P.ShardLookahead(p.MinCrossHops())
+}
 
 // Transfer books a data movement of size bytes from srcNode to dstNode on
 // the given unit, ready to start no earlier than `ready`. See

@@ -1,5 +1,7 @@
 package mem
 
+import "sync/atomic"
+
 // This file is the simulator-side analog of the paper's §V.B memory pool:
 // where internal/mem.Pool models the *simulated* runtime's registered-buffer
 // pool (charging virtual time), FreeList removes real malloc/free from the
@@ -10,18 +12,19 @@ package mem
 // (see DESIGN.md §2.2 "Allocation discipline").
 
 // live counts pooled descriptors currently acquired across every FreeList
-// in the process. It is maintained without atomics on purpose: all
-// Get/Put calls happen inside the simulator's serialized execution regions
-// (the single scheduler goroutine, or a rank thread holding the AMPI
-// handoff token, whose channel operations publish the writes), exactly
-// like the existing machine counters. The leak test asserts this returns
+// in the process. It is the one process-global the otherwise goroutine-
+// confined free lists share, so it is atomic: independent simulations may
+// run concurrently (the bench harness's point workers, the sharded
+// kernel's window workers), and a torn counter would fail the leak gate
+// spuriously. Each FreeList itself stays single-owner — only the shared
+// diagnostic total needs the atomics. The leak test asserts this returns
 // to its pre-run value after every experiment drains.
-var live int64
+var live atomic.Int64
 
 // LiveDescriptors reports how many pooled descriptors are currently
 // acquired and not yet released, process-wide. A fully drained simulation
 // must bring this back to its value before the run started.
-func LiveDescriptors() int64 { return live }
+func LiveDescriptors() int64 { return live.Load() }
 
 // FreeList is a typed free list for the simulator's own descriptor
 // structs. The zero value is ready to use. Get returns a zeroed *T
@@ -55,7 +58,7 @@ type FreeList[T any] struct {
 // return, send).
 func (f *FreeList[T]) Get() *T {
 	f.out++
-	live++
+	live.Add(1)
 	if n := len(f.free); n > 0 {
 		x := f.free[n-1]
 		f.free[n-1] = nil
@@ -75,7 +78,7 @@ func (f *FreeList[T]) Put(x *T) {
 	var zero T
 	*x = zero
 	f.out--
-	live--
+	live.Add(-1)
 	f.free = append(f.free, x)
 }
 

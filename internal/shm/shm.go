@@ -81,17 +81,24 @@ func (m Model) Latency() sim.Time { return m.NotifyLatency }
 // layer books on PE resources — so Ready is the identity and Transfer
 // books nothing: it reports the notification flight time.
 type Loopback struct {
-	eng       *sim.Engine
+	eng       sim.Kernel
 	m         Model
 	name      sim.Name
+	node      int // owning simulated node (-1 when shared): shard routing hint
 	transfers uint64
 }
 
 var _ sim.NICEngine = (*Loopback)(nil)
 
 // NewLoopback returns the pxshm engine for one node's shared segment.
-func NewLoopback(eng *sim.Engine, m Model, name sim.Name) *Loopback {
-	return &Loopback{eng: eng, m: m, name: name}
+func NewLoopback(eng sim.Kernel, m Model, name sim.Name) *Loopback {
+	return &Loopback{eng: eng, m: m, name: name, node: -1}
+}
+
+// NewNodeLoopback is NewLoopback pinned to one simulated node, so a
+// sharded kernel books its completion callbacks into that node's shard.
+func NewNodeLoopback(eng sim.Kernel, m Model, name sim.Name, node int) *Loopback {
+	return &Loopback{eng: eng, m: m, name: name, node: node}
 }
 
 // Name labels the engine for diagnostics.
@@ -116,13 +123,25 @@ func (l *Loopback) Transfer(dst, size int, ready sim.Time) (srcDone, dstArrive s
 // Enqueue schedules a completion callback on the machine's event loop.
 //
 //simlint:hotpath
-func (l *Loopback) Enqueue(at sim.Time, fn func()) { l.eng.At(at, fn) }
+func (l *Loopback) Enqueue(at sim.Time, fn func()) {
+	if l.node >= 0 {
+		l.eng.AtNode(l.node, at, fn)
+		return
+	}
+	l.eng.At(at, fn)
+}
 
 // EnqueueArg schedules a closure-free completion callback on the machine's
 // event loop (see sim.Engine.AtArg).
 //
 //simlint:hotpath
-func (l *Loopback) EnqueueArg(at sim.Time, fn func(any), arg any) { l.eng.AtArg(at, fn, arg) }
+func (l *Loopback) EnqueueArg(at sim.Time, fn func(any), arg any) {
+	if l.node >= 0 {
+		l.eng.AtNodeArg(l.node, at, fn, arg)
+		return
+	}
+	l.eng.AtArg(at, fn, arg)
+}
 
 // Transfers reports how many handoffs this engine carried.
 func (l *Loopback) Transfers() uint64 { return l.transfers }

@@ -67,8 +67,10 @@ type entry struct {
 // which favors the pop-heavy DES workload.
 type Engine struct {
 	now       Time
+	lastAt    Time // timestamp of the most recently fired event (RunUntil moves now past it)
 	heap      []entry
 	seq       uint64
+	seqp      *uint64 // shared scheduling counter when part of a ShardedEngine
 	fired     uint64
 	live      int // pending (non-cancelled) events; Pending() is O(1)
 	cancelled int // cancelled events still occupying heap slots
@@ -101,6 +103,7 @@ func (e *Engine) Pending() int { return e.live }
 // Schedule runs fn after delay units of virtual time. A negative delay is
 // treated as zero. Events scheduled for the same instant fire in the order
 // they were scheduled.
+//simlint:hotpath
 func (e *Engine) Schedule(delay Time, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
@@ -110,6 +113,7 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 
 // At runs fn at absolute virtual time t. Scheduling in the past is an error:
 // the simulation's causality would break silently, so it panics loudly.
+//simlint:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
 	ev := e.acquire(t)
 	ev.fn = fn
@@ -118,6 +122,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 
 // ScheduleArg is Schedule for the closure-free form: fn(arg) runs after
 // delay units of virtual time.
+//simlint:hotpath
 func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
 	if delay < 0 {
 		delay = 0
@@ -129,11 +134,25 @@ func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
 // scheduling form: with fn a package-level function and arg a pointer into
 // caller-owned (typically pooled) state, scheduling allocates nothing —
 // the callback pair lives inside the pooled Event record.
+//simlint:hotpath
 func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
 	ev := e.acquire(t)
 	ev.afn = fn
 	ev.arg = arg
 	return ev
+}
+
+// AtNode is At with a routing hint: the callback concerns the given
+// simulated node. The flat engine has a single event population, so the
+// hint is ignored; a ShardedEngine uses it to book the event into the
+// owning shard's heap.
+//simlint:hotpath
+func (e *Engine) AtNode(node int, t Time, fn func()) *Event { return e.At(t, fn) }
+
+// AtNodeArg is AtArg with a node routing hint (see AtNode).
+//simlint:hotpath
+func (e *Engine) AtNodeArg(node int, t Time, fn func(any), arg any) *Event {
+	return e.AtArg(t, fn, arg)
 }
 
 // acquire pops a pooled record (or allocates the pool's next one), books it
@@ -152,10 +171,41 @@ func (e *Engine) acquire(t Time) *Event {
 	}
 	ev.at = t
 	ev.state = evPending
-	e.push(entry{at: t, seq: e.seq, ev: ev})
-	e.seq++
+	e.push(entry{at: t, seq: e.nextSeq(), ev: ev})
 	e.live++
 	return ev
+}
+
+// nextSeq returns the next scheduling sequence number. Shards of a
+// lockstep ShardedEngine share one counter (seqp), which is what makes the
+// sharded total order (time, sequence) coincide with the flat engine's:
+// identical execution order implies identical scheduling order implies
+// identical sequence assignment, by induction over fired events.
+func (e *Engine) nextSeq() uint64 {
+	if e.seqp != nil {
+		s := *e.seqp
+		*e.seqp = s + 1
+		return s
+	}
+	s := e.seq
+	e.seq = s + 1
+	return s
+}
+
+// peek reports the ordering key of the next live event without firing it,
+// reclaiming any cancelled records sitting on top of the heap. ok is false
+// when no live events remain.
+func (e *Engine) peek() (at Time, seq uint64, ok bool) {
+	for len(e.heap) > 0 {
+		top := &e.heap[0]
+		if top.ev.state != evCancelled {
+			return top.at, top.seq, true
+		}
+		en := e.popTop()
+		e.cancelled--
+		e.release(en.ev)
+	}
+	return 0, 0, false
 }
 
 // release returns a record to the pool.
@@ -185,6 +235,7 @@ func (e *Engine) Step() bool {
 		e.release(ev)
 		e.live--
 		e.now = en.at
+		e.lastAt = en.at
 		e.fired++
 		if e.probe != nil {
 			e.probe.EventFired(e.now, e.live)

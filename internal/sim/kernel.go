@@ -1,0 +1,50 @@
+package sim
+
+// Kernel is the scheduling surface the machine stack builds on: everything
+// an Engine offers plus node-routed scheduling (AtNode/AtNodeArg), so the
+// same gemini/uGNI/machine/converse layers run unchanged on the flat
+// Engine or on a partitioned ShardedEngine. Layers that know which
+// simulated node a callback concerns should schedule through the node
+// forms; the flat engine ignores the hint and a sharded kernel uses it to
+// book the event into the owning shard.
+type Kernel interface {
+	// Now reports the current virtual time.
+	Now() Time
+	// Fired reports how many events have executed so far.
+	Fired() uint64
+	// Pending reports the number of scheduled, uncancelled events.
+	Pending() int
+
+	// Schedule runs fn after delay units of virtual time.
+	Schedule(delay Time, fn func()) *Event
+	// ScheduleArg is the closure-free Schedule form.
+	ScheduleArg(delay Time, fn func(any), arg any) *Event
+	// At runs fn at absolute virtual time t.
+	At(t Time, fn func()) *Event
+	// AtArg is the closure-free At form.
+	AtArg(t Time, fn func(any), arg any) *Event
+	// AtNode is At with a node-routing hint.
+	AtNode(node int, t Time, fn func()) *Event
+	// AtNodeArg is AtArg with a node-routing hint.
+	AtNodeArg(node int, t Time, fn func(any), arg any) *Event
+
+	// Step fires the single next event; false when none remain.
+	Step() bool
+	// Run fires events until none remain and returns the number fired.
+	Run() uint64
+	// RunUntil fires events with timestamps <= deadline, then advances the
+	// clock to the deadline.
+	RunUntil(deadline Time) uint64
+	// RunFor is RunUntil(Now()+d).
+	RunFor(d Time) uint64
+
+	// SetProbe installs p to observe every fired event.
+	SetProbe(p Probe)
+	// Probe reports the installed probe, if any.
+	Probe() Probe
+}
+
+var (
+	_ Kernel = (*Engine)(nil)
+	_ Kernel = (*ShardedEngine)(nil)
+)

@@ -13,8 +13,7 @@ func BenchmarkEngineScheduleFire(b *testing.B) {
 	}
 	e.Schedule(1, fn)
 	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for b.Loop() {
 		e.Step()
 	}
 }
@@ -31,8 +30,7 @@ func BenchmarkGapResourceAcquire(b *testing.B) {
 		var now Time
 		r := NewGapResource(Lit("x"), func() Time { return now })
 		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		for b.Loop() {
 			_, e := r.Acquire(now, 10)
 			now = e
 		}
@@ -41,8 +39,8 @@ func BenchmarkGapResourceAcquire(b *testing.B) {
 		var now Time
 		r := NewGapResource(Lit("x"), func() Time { return now })
 		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		i := 0
+		for b.Loop() {
 			// Book ahead of now with holes; advance the clock slowly so a
 			// few hundred live intervals persist between prunes.
 			at := now + Time(i%512)*20
@@ -50,6 +48,7 @@ func BenchmarkGapResourceAcquire(b *testing.B) {
 			if i%512 == 511 {
 				now += 512 * 20
 			}
+			i++
 		}
 	})
 }

@@ -1,0 +1,87 @@
+package topology
+
+import "testing"
+
+func TestPartitionBalancedAndContiguous(t *testing.T) {
+	for _, tc := range []struct{ nodes, shards int }{
+		{64, 4}, {100, 2}, {100, 3}, {512, 8}, {17, 4}, {1, 1},
+	} {
+		tor := Shape(tc.nodes)
+		p := PartitionTorus(tor, tc.nodes, tc.shards)
+		if p.Shards < 1 {
+			t.Fatalf("%v/%d: effective shards %d", tor, tc.shards, p.Shards)
+		}
+		counts := make([]int, p.Shards)
+		for n := 0; n < tc.nodes; n++ {
+			s := p.ShardOf(n)
+			if s < 0 || s >= p.Shards {
+				t.Fatalf("%v/%d: node %d → shard %d", tor, tc.shards, n, s)
+			}
+			counts[s]++
+		}
+		// Every shard owns at least one node, and slabs are contiguous in
+		// the cut coordinate: shard must be non-decreasing in that coord.
+		dims := tor.Dims()
+		planeMax := tc.nodes // a slab is at most off by one coordinate plane
+		if p.Shards > 1 {
+			planeMax = (dims[p.Dim]/p.Shards + 1) * (tor.Nodes() / dims[p.Dim])
+		}
+		for s, c := range counts {
+			if c == 0 {
+				t.Fatalf("%v/%d: shard %d empty (counts %v)", tor, tc.shards, s, counts)
+			}
+			if c > planeMax {
+				t.Fatalf("%v/%d: shard %d has %d nodes, max %d", tor, tc.shards, s, c, planeMax)
+			}
+		}
+		for n := 0; n < tc.nodes; n++ {
+			var c [NumDims]int
+			c[0], c[1], c[2] = tor.Coords(n)
+			want := c[p.Dim] * p.Shards / dims[p.Dim]
+			if p.ShardOf(n) != want {
+				t.Fatalf("%v/%d: node %d coord %d → shard %d, want slab %d",
+					tor, tc.shards, n, c[p.Dim], p.ShardOf(n), want)
+			}
+		}
+	}
+}
+
+func TestPartitionClampsToDimension(t *testing.T) {
+	tor := Shape(8) // 2x2x2
+	p := PartitionTorus(tor, 8, 16)
+	if p.Shards != 2 {
+		t.Fatalf("shards clamped to %d, want 2 (dim size)", p.Shards)
+	}
+}
+
+// TestMinCrossHopsExact verifies the neighbor scan against brute force on
+// tori small enough to enumerate all pairs.
+func TestMinCrossHopsExact(t *testing.T) {
+	for _, tc := range []struct{ nodes, shards int }{
+		{64, 2}, {64, 4}, {60, 3}, {27, 2}, {16, 1},
+	} {
+		tor := Shape(tc.nodes)
+		p := PartitionTorus(tor, tc.nodes, tc.shards)
+		got := p.MinCrossHops()
+		brute := 0
+		for a := 0; a < tc.nodes; a++ {
+			for b := a + 1; b < tc.nodes; b++ {
+				if p.ShardOf(a) == p.ShardOf(b) {
+					continue
+				}
+				if h := tor.Hops(a, b); brute == 0 || h < brute {
+					brute = h
+				}
+			}
+		}
+		if p.Shards == 1 {
+			if got != 0 {
+				t.Fatalf("%v/%d: MinCrossHops %d for single shard", tor, tc.shards, got)
+			}
+			continue
+		}
+		if got != brute {
+			t.Fatalf("%v/%d: MinCrossHops %d, brute force %d", tor, tc.shards, got, brute)
+		}
+	}
+}

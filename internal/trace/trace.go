@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"charmgo/internal/sim"
@@ -22,12 +23,28 @@ const (
 	KindOverhead
 )
 
-// Recorder accumulates intervals into fixed-width time bins, summed across
-// PEs. Idle time is derived at rendering time as bin capacity minus
-// recorded busy time.
+// interval is one journaled busy interval.
+type interval struct {
+	from, to sim.Time
+	pe       int32
+	kind     Kind
+}
+
+// Recorder journals per-PE busy intervals and bins them into fixed-width
+// time bins, summed across PEs, when a profile is requested. Idle time is
+// derived at rendering time as bin capacity minus recorded busy time.
+//
+// Add order does not matter: the journal is sorted by timestamp before
+// binning, so a Recorder fed out of chronological order — or assembled
+// with Merge from per-shard recorders of a sharded kernel run — renders
+// byte-identically to one fed a single monotone stream. (The bin sums are
+// commutative anyway; sorting makes the canonical order explicit so every
+// future consumer of the journal inherits the tolerance.)
 type Recorder struct {
 	pes      int
 	binWidth sim.Time
+	iv       []interval
+	settled  bool
 	app      []sim.Time
 	ovh      []sim.Time
 	maxT     sim.Time
@@ -48,7 +65,7 @@ func NewRecorder(pes int, binWidth sim.Time) *Recorder {
 // BinWidth reports the configured bin width.
 func (r *Recorder) BinWidth() sim.Time { return r.binWidth }
 
-// Add records [from, to) on pe as the given kind, splitting across bins.
+// Add journals [from, to) on pe as the given kind.
 func (r *Recorder) Add(pe int, kind Kind, from, to sim.Time) {
 	if to <= from {
 		return
@@ -62,22 +79,73 @@ func (r *Recorder) Add(pe int, kind Kind, from, to sim.Time) {
 	case KindOverhead:
 		r.totalOvh += to - from
 	}
-	for from < to {
-		bin := int(from / r.binWidth)
-		binEnd := sim.Time(bin+1) * r.binWidth
-		seg := to
-		if binEnd < seg {
-			seg = binEnd
-		}
-		r.grow(bin)
-		switch kind {
-		case KindApp:
-			r.app[bin] += seg - from
-		case KindOverhead:
-			r.ovh[bin] += seg - from
-		}
-		from = seg
+	r.iv = append(r.iv, interval{from: from, to: to, pe: int32(pe), kind: kind})
+	r.settled = false
+}
+
+// Merge folds another recorder's journal into this one. The two must share
+// a bin width; the merged profile uses the larger PE count. This is how a
+// sharded run traces: each shard feeds its own Recorder, and the merge +
+// timestamp sort at render reproduces the single-stream profile exactly,
+// whatever order the shards produced their intervals in.
+func (r *Recorder) Merge(o *Recorder) {
+	if o.binWidth != r.binWidth {
+		panic(fmt.Sprintf("trace: merging recorders with bin widths %v and %v",
+			r.binWidth, o.binWidth))
 	}
+	if o.pes > r.pes {
+		r.pes = o.pes
+	}
+	if o.maxT > r.maxT {
+		r.maxT = o.maxT
+	}
+	r.totalApp += o.totalApp
+	r.totalOvh += o.totalOvh
+	r.iv = append(r.iv, o.iv...)
+	r.settled = false
+}
+
+// settle sorts the journal into canonical (timestamp, pe, kind) order and
+// rebuilds the bins from it.
+func (r *Recorder) settle() {
+	if r.settled {
+		return
+	}
+	sort.Slice(r.iv, func(i, j int) bool {
+		a, b := r.iv[i], r.iv[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.pe != b.pe {
+			return a.pe < b.pe
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.to < b.to
+	})
+	r.app = r.app[:0]
+	r.ovh = r.ovh[:0]
+	for _, iv := range r.iv {
+		from, to := iv.from, iv.to
+		for from < to {
+			bin := int(from / r.binWidth)
+			binEnd := sim.Time(bin+1) * r.binWidth
+			seg := to
+			if binEnd < seg {
+				seg = binEnd
+			}
+			r.grow(bin)
+			switch iv.kind {
+			case KindApp:
+				r.app[bin] += seg - from
+			case KindOverhead:
+				r.ovh[bin] += seg - from
+			}
+			from = seg
+		}
+	}
+	r.settled = true
 }
 
 func (r *Recorder) grow(bin int) {
@@ -101,6 +169,7 @@ type Bin struct {
 // Profile returns per-bin utilization fractions up to the last recorded
 // instant.
 func (r *Recorder) Profile() []Bin {
+	r.settle()
 	n := len(r.app)
 	out := make([]Bin, n)
 	capacity := float64(r.binWidth) * float64(r.pes)
@@ -119,12 +188,13 @@ func (r *Recorder) Profile() []Bin {
 // RenderCompact is Render with adjacent bins merged so at most maxRows
 // rows are emitted (long runs recorded with fine bins stay readable).
 func (r *Recorder) RenderCompact(width, maxRows int) string {
+	r.settle()
 	if maxRows <= 0 || len(r.app) <= maxRows {
 		return r.Render(width)
 	}
 	factor := (len(r.app) + maxRows - 1) / maxRows
 	merged := &Recorder{pes: r.pes, binWidth: r.binWidth * sim.Time(factor), maxT: r.maxT,
-		totalApp: r.totalApp, totalOvh: r.totalOvh}
+		totalApp: r.totalApp, totalOvh: r.totalOvh, settled: true}
 	for i, v := range r.app {
 		merged.grow(i / factor)
 		merged.app[i/factor] += v

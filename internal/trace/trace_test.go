@@ -78,3 +78,83 @@ func TestBadBinWidthPanics(t *testing.T) {
 	}()
 	NewRecorder(1, 0)
 }
+
+func TestAddOrderIrrelevant(t *testing.T) {
+	// The same intervals in chronological, reversed, and interleaved order
+	// must render byte-identically: the journal is sorted at render.
+	ivs := []struct {
+		pe   int
+		kind Kind
+		from sim.Time
+		to   sim.Time
+	}{
+		{0, KindApp, 0, 7 * sim.Microsecond},
+		{1, KindOverhead, 2 * sim.Microsecond, 12 * sim.Microsecond},
+		{0, KindOverhead, 7 * sim.Microsecond, 9 * sim.Microsecond},
+		{1, KindApp, 15 * sim.Microsecond, 35 * sim.Microsecond},
+		{0, KindApp, 20 * sim.Microsecond, 25 * sim.Microsecond},
+	}
+	fwd := NewRecorder(2, 10*sim.Microsecond)
+	rev := NewRecorder(2, 10*sim.Microsecond)
+	for _, iv := range ivs {
+		fwd.Add(iv.pe, iv.kind, iv.from, iv.to)
+	}
+	for i := len(ivs) - 1; i >= 0; i-- {
+		rev.Add(ivs[i].pe, ivs[i].kind, ivs[i].from, ivs[i].to)
+	}
+	if got, want := rev.Render(30), fwd.Render(30); got != want {
+		t.Fatalf("reversed add order changed the render:\n%s\nvs\n%s", got, want)
+	}
+	ra, ro := rev.Totals()
+	fa, fo := fwd.Totals()
+	if ra != fa || ro != fo {
+		t.Fatalf("totals differ: %v/%v vs %v/%v", ra, ro, fa, fo)
+	}
+}
+
+func TestMergeMatchesSingleStream(t *testing.T) {
+	// Two per-shard recorders merged in either order must reproduce the
+	// single-stream recorder exactly.
+	whole := NewRecorder(4, 10*sim.Microsecond)
+	s0 := NewRecorder(4, 10*sim.Microsecond)
+	s1 := NewRecorder(4, 10*sim.Microsecond)
+	for i := 0; i < 40; i++ {
+		pe := i % 4
+		from := sim.Time(i) * 3 * sim.Microsecond
+		to := from + 5*sim.Microsecond
+		kind := KindApp
+		if i%3 == 0 {
+			kind = KindOverhead
+		}
+		whole.Add(pe, kind, from, to)
+		if pe < 2 {
+			s0.Add(pe, kind, from, to)
+		} else {
+			s1.Add(pe, kind, from, to)
+		}
+	}
+	ab := NewRecorder(4, 10*sim.Microsecond)
+	ab.Merge(s0)
+	ab.Merge(s1)
+	ba := NewRecorder(4, 10*sim.Microsecond)
+	ba.Merge(s1)
+	ba.Merge(s0)
+	want := whole.Render(40)
+	if got := ab.Render(40); got != want {
+		t.Fatalf("merge (s0,s1) differs from single stream:\n%s\nvs\n%s", got, want)
+	}
+	if got := ba.Render(40); got != want {
+		t.Fatalf("merge (s1,s0) differs from single stream:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestMergeBinWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched bin widths did not panic")
+		}
+	}()
+	a := NewRecorder(1, sim.Microsecond)
+	b := NewRecorder(1, 2*sim.Microsecond)
+	a.Merge(b)
+}

@@ -74,7 +74,8 @@ func (g *GNI) PostAMO(d *AMODesc, at sim.Time) sim.Time {
 	_, reqArrive := g.Net.Transfer(iNode, rNode, amoWireBytes, gemini.UnitFMA, at)
 	back := g.Net.ControlLatency(rNode, iNode)
 	key := amoKey{rNode, d.Addr}
-	g.Net.Eng.At(reqArrive, func() {
+	// The register lives at the remote NIC: apply on its node's shard.
+	g.Net.Eng.AtNode(rNode, reqArrive, func() {
 		old := g.amoRegs[key]
 		switch d.Kind {
 		case AMOFetchAdd:
