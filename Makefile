@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint lint-audit check fault-matrix shard-matrix bench-smoke bench-json profile alloc-gate
+.PHONY: build test test-race vet lint lint-audit lint-bench check fault-matrix shard-matrix bench-smoke bench-json profile alloc-gate
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,13 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# simlint: all nine analyzers (internal/analysis/simlint) — the five
-# determinism/kernel-discipline rules plus the CFG/dataflow ownership
-# rules (poolleak, useafterrelease, hotpathalloc, closechain). Zero
-# findings and zero unexplained or unused suppressions required; see
-# DESIGN.md §6 "Determinism rules" / "Ownership rules".
+# simlint: all thirteen analyzers (internal/analysis/simlint) — the five
+# determinism/kernel-discipline rules, the CFG/dataflow ownership rules
+# (poolleak, useafterrelease, hotpathalloc, closechain), and the
+# points-to shard-ownership rules (shardescape, atomicshared,
+# singlewriter, windowsend). Zero findings and zero unexplained or unused
+# suppressions required; see DESIGN.md §6 "Determinism rules" /
+# "Ownership rules" / "Shard-ownership rules".
 lint:
 	$(GO) run ./cmd/simlint ./...
 
@@ -31,6 +33,12 @@ lint:
 # justification (fails if any lacks one).
 lint-audit:
 	$(GO) run ./cmd/simlint -audit ./...
+
+# Time each analyzer over the module and fail if the checked-in budget
+# (cmd/simlint/budget.json, ~4x a warm local run) is exceeded — the gate
+# against an analyzer or the points-to solve going quadratic.
+lint-bench:
+	$(GO) run ./cmd/simlint -bench ./...
 
 check: build vet lint test test-race
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-json] [-audit] [packages]
+//	go run ./cmd/simlint [-json] [-audit] [-bench [-budget file]] [packages]
 //
 // With no arguments it analyzes ./.... Suppressions use
 // `//simlint:allow <analyzer> -- <reason>` on (or one line above) the
@@ -19,13 +19,19 @@
 // complete audit trail of accepted exceptions is one command away. With
 // -json the audit is emitted as {analyzer, file, line, col, reason}
 // objects. -audit exits nonzero only if a suppression lacks a reason.
+//
+// -bench skips the findings report and instead times each analyzer over
+// the loaded packages, checking load and analysis wall-clock against the
+// checked-in budget (cmd/simlint/budget.json, overridable with -budget).
+// It exits nonzero when a budget line is exceeded, so `make lint-bench`
+// gates analyzer performance regressions.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"charmgo/internal/analysis/framework"
 	"charmgo/internal/analysis/simlint"
@@ -34,6 +40,8 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings (or the -audit list) as JSON")
 	audit := flag.Bool("audit", false, "list every //simlint:allow suppression with its justification")
+	bench := flag.Bool("bench", false, "time each analyzer and enforce the checked-in budget")
+	budgetPath := flag.String("budget", "", "budget file for -bench (default cmd/simlint/budget.json)")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -41,7 +49,9 @@ func main() {
 		patterns = []string{"./..."}
 	}
 	loader := framework.NewLoader(".")
+	loadStart := time.Now()
 	pkgs, err := loader.LoadModule(patterns...)
+	loadTime := time.Since(loadStart)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
@@ -49,13 +59,16 @@ func main() {
 	if *audit {
 		os.Exit(runAudit(pkgs, *jsonOut))
 	}
+	if *bench {
+		os.Exit(runBench(pkgs, loadTime, *budgetPath))
+	}
 	diags, err := framework.Run(pkgs, simlint.Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
 	if *jsonOut {
-		printJSONDiags(diags)
+		emitJSON(renderDiagsJSON(diags))
 	} else {
 		for _, d := range diags {
 			fmt.Println(d.String())
@@ -65,40 +78,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simlint: %d issue(s)\n", len(diags))
 		os.Exit(1)
 	}
-}
-
-// jsonDiag is the -json wire form of one finding.
-type jsonDiag struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
-}
-
-func printJSONDiags(diags []framework.Diagnostic) {
-	out := make([]jsonDiag, 0, len(diags))
-	for _, d := range diags {
-		out = append(out, jsonDiag{
-			Analyzer: d.Analyzer,
-			File:     d.Pos.Filename,
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Message:  d.Message,
-		})
-	}
-	emitJSON(out)
-}
-
-// jsonSuppression is the -audit -json wire form of one audited exception:
-// an allow directive or a shard-worker protocol site.
-type jsonSuppression struct {
-	Directive string `json:"directive"`
-	Analyzer  string `json:"analyzer"`
-	File      string `json:"file"`
-	Line      int    `json:"line"`
-	Col       int    `json:"col"`
-	Reason    string `json:"reason"`
 }
 
 // runAudit lists every suppression and returns the process exit code:
@@ -112,18 +91,7 @@ func runAudit(pkgs []*framework.Package, jsonOut bool) int {
 		}
 	}
 	if jsonOut {
-		out := make([]jsonSuppression, 0, len(sups))
-		for _, s := range sups {
-			out = append(out, jsonSuppression{
-				Directive: s.Verb,
-				Analyzer:  s.Analyzer,
-				File:      s.Pos.Filename,
-				Line:      s.Pos.Line,
-				Col:       s.Pos.Column,
-				Reason:    s.Reason,
-			})
-		}
-		emitJSON(out)
+		emitJSON(renderAuditJSON(sups))
 	} else {
 		for _, s := range sups {
 			reason := s.Reason
@@ -142,12 +110,11 @@ func runAudit(pkgs []*framework.Package, jsonOut bool) int {
 	return 0
 }
 
-// emitJSON writes v as indented JSON on stdout.
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+// emitJSON writes a rendered JSON document to stdout, exiting on error.
+func emitJSON(b []byte, err error) {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
+	os.Stdout.Write(b)
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"charmgo/internal/analysis/framework"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden JSON schema files")
+
+// TestDiagsJSONGolden pins the -json wire schema: field names, field
+// order, indentation, and the empty-array (never null) clean case.
+// Downstream consumers (the CI artifact, editor integrations) parse this
+// shape; changing it is a contract change and must show up as a golden
+// diff in review. Run `go test ./cmd/simlint -update` after a deliberate
+// change.
+func TestDiagsJSONGolden(t *testing.T) {
+	diags := []framework.Diagnostic{
+		{
+			Analyzer: "shardescape",
+			Pos:      token.Position{Filename: "internal/sim/shard.go", Line: 42, Column: 7},
+			Message:  "shard worker writes non-owned state (coordinator horizon)",
+		},
+		{
+			Analyzer: "windowsend",
+			Pos:      token.Position{Filename: "internal/sim/shard.go", Line: 99, Column: 3},
+			Message:  "shard worker schedules through the coordinator (ShardedEngine.At)",
+		},
+	}
+	got, err := renderDiagsJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diags.golden.json", got)
+
+	empty, err := renderDiagsJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "[]\n" {
+		t.Errorf("clean run must render as an empty array, got %q", empty)
+	}
+}
+
+// TestAuditJSONGolden pins the -audit -json wire schema the same way.
+func TestAuditJSONGolden(t *testing.T) {
+	sups := []framework.Suppression{
+		{
+			Verb:     "allow",
+			Analyzer: "atomicshared",
+			Pos:      token.Position{Filename: "internal/sim/engine.go", Line: 191, Column: 21},
+			Reason:   "lockstep-only path: parallel mode nils seqp before workers start",
+		},
+	}
+	got, err := renderAuditJSON(sups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "audit.golden.json", got)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./cmd/simlint -update` to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from the golden schema\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}

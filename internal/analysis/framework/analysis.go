@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer describes one static check. Name appears in diagnostics and in
@@ -69,12 +70,51 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // File reports the file name containing pos.
 func (p *Pass) File(pos token.Pos) string { return p.Fset.Position(pos).Filename }
 
+// NewPass builds a standalone Pass for one (analyzer, package) pair,
+// appending findings to *diags. Run uses an internal equivalent; this
+// entry point exists for callers that need per-analyzer control — the
+// fixture runner's single-analyzer mode and `simlint -bench`, which
+// times each analyzer separately.
+func NewPass(a *Analyzer, pkg *Package, prog *Program, diags *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.TypesInfo,
+		Prog:      prog,
+		diags:     diags,
+	}
+}
+
 // Run applies every analyzer to every package and returns the combined
 // diagnostics sorted by position. Suppression directives are already
 // applied (see suppress.go): explained `//simlint:allow` lines remove their
 // diagnostic, unexplained or unused ones surface as diagnostics themselves.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := run(pkgs, analyzers)
+	return diags, err
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost across every analyzed
+// package in a RunTimed call. Shared lazily-built state (the points-to
+// solution, the shard context) is attributed to the first analyzer that
+// forces it, so the first shard-family entry carries the solve.
+type AnalyzerTiming struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunTimed is Run plus a per-analyzer timing breakdown, in the order the
+// analyzers were given. It backs `simlint -bench`.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
+	return run(pkgs, analyzers)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
 	prog := NewProgram(pkgs)
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
@@ -89,11 +129,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Prog:      prog,
 				diags:     &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 		all = append(all, applySuppressions(pkg, diags)...)
+	}
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -103,10 +150,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		// Analyzer before column so the order matches the -json contract
+		// (file/line/analyzer): two analyzers firing on one line sort
+		// stably by name regardless of which sub-expression they anchor to.
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
 		return a.Message < b.Message
 	})
-	return all, nil
+	return all, timings, nil
 }

@@ -24,10 +24,16 @@ import (
 // reverse registration order, to a single pre-exit block crossed by all
 // normal completions. Deferred calls are not replayed on panic paths
 // (PanicExit is exempt from ownership checks anyway). The builder
-// supports the full goto-free statement language — if/else, for, range,
-// switch, type switch (with per-case bindings), select, labeled
-// break/continue, fallthrough, defer, panic; `goto` makes BuildCFG
-// return nil and the function is skipped by CFG-based analyzers.
+// supports the full statement language — if/else, for, range, switch,
+// type switch (with per-case bindings), select, labeled break/continue
+// (including stacked labels), fallthrough, goto (forward and backward,
+// via per-label join blocks), defer, panic. Select models Go's entry
+// semantics: every case's channel (and send-value) operand expression is
+// evaluated in the head block before the arms fork, so an operand's
+// side effects lie on all paths; the chosen arm's Comm statement then
+// appears in its case block, which re-contains those operand
+// expressions — analyzers tracking variables are unaffected, analyzers
+// counting expression occurrences must tolerate the duplication.
 type CFG struct {
 	Blocks    []*Block
 	Entry     *Block
@@ -51,11 +57,10 @@ type Block struct {
 	Succs []*Block
 }
 
-// BuildCFG constructs the CFG for a function body. It returns nil when
-// the body uses a construct the builder does not model (goto); callers
-// must skip such functions.
+// BuildCFG constructs the CFG for a function body. The result is never
+// nil for type-checked code.
 func BuildCFG(body *ast.BlockStmt) *CFG {
-	b := &cfgBuilder{cfg: &CFG{}}
+	b := &cfgBuilder{cfg: &CFG{}, labels: make(map[string]*Block)}
 	b.cfg.Entry = b.newBlock()
 	b.cfg.Exit = b.newBlock()
 	b.cfg.PanicExit = b.newBlock()
@@ -67,17 +72,24 @@ func BuildCFG(body *ast.BlockStmt) *CFG {
 		b.preExit.Nodes = append(b.preExit.Nodes, b.defers[i])
 	}
 	b.edge(b.preExit, b.cfg.Exit)
-	if b.bad {
-		return nil
-	}
 	return b.cfg
 }
 
-// branchTarget is one enclosing breakable/continuable construct.
+// branchTarget is one enclosing breakable/continuable construct. labels
+// holds every label stacked on the construct (`L1: L2: for { ... }`).
 type branchTarget struct {
-	label string
-	brk   *Block
-	cont  *Block // nil for switch/select
+	labels []string
+	brk    *Block
+	cont   *Block // nil for switch/select
+}
+
+func (t *branchTarget) hasLabel(l string) bool {
+	for _, tl := range t.labels {
+		if tl == l {
+			return true
+		}
+	}
+	return false
 }
 
 type cfgBuilder struct {
@@ -87,9 +99,9 @@ type cfgBuilder struct {
 
 	defers        []ast.Node // deferred *ast.CallExprs in registration order
 	targets       []branchTarget
-	pendingLabel  string // label awaiting its for/range/switch/select
-	fallthroughTo *Block // next case body while emitting a switch case
-	bad           bool   // unsupported construct (goto) seen
+	pendingLabels []string          // labels awaiting their for/range/switch/select
+	labels        map[string]*Block // label name -> its join block (goto target)
+	fallthroughTo *Block            // next case body while emitting a switch case
 }
 
 func (b *cfgBuilder) newBlock() *Block {
@@ -110,15 +122,50 @@ func (b *cfgBuilder) terminate() { b.cur = b.newBlock() }
 
 func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
 
-// takeLabel consumes the pending label for a labeled loop/switch/select.
-func (b *cfgBuilder) takeLabel() string {
-	l := b.pendingLabel
-	b.pendingLabel = ""
+// takeLabels consumes the pending labels for a labeled loop/switch/select.
+func (b *cfgBuilder) takeLabels() []string {
+	l := b.pendingLabels
+	b.pendingLabels = nil
 	return l
+}
+
+// labelBlock returns the join block of a label, creating it at first
+// mention (a forward goto references the label before its statement).
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
 }
 
 func (b *cfgBuilder) push(t branchTarget) { b.targets = append(b.targets, t) }
 func (b *cfgBuilder) pop()                { b.targets = b.targets[:len(b.targets)-1] }
+
+// commOperands returns the operand expressions of one select case that
+// Go evaluates at select entry: the channel (and, for sends, the value)
+// — but not the receive's assignment targets, which bind only in the
+// chosen arm.
+func commOperands(cc *ast.CommClause) []ast.Expr {
+	var out []ast.Expr
+	recvChan := func(e ast.Expr) {
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			out = append(out, u.X)
+		}
+	}
+	switch comm := cc.Comm.(type) {
+	case *ast.SendStmt:
+		out = append(out, comm.Chan, comm.Value)
+	case *ast.ExprStmt:
+		recvChan(comm.X)
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			recvChan(comm.Rhs[0])
+		}
+	}
+	return out
+}
 
 // isPanicCall recognizes the builtin panic syntactically; the repository
 // never shadows it.
@@ -132,7 +179,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		return
 	}
 	if _, ok := s.(*ast.LabeledStmt); !ok {
-		defer func() { b.pendingLabel = "" }()
+		defer func() { b.pendingLabels = nil }()
 	}
 	switch s := s.(type) {
 	case *ast.BlockStmt:
@@ -140,7 +187,12 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 			b.stmt(t)
 		}
 	case *ast.LabeledStmt:
-		b.pendingLabel = s.Label.Name
+		// Every label gets a join block so goto (forward or backward) has
+		// a target; execution falls through into it.
+		lbl := b.labelBlock(s.Label.Name)
+		b.linkTo(lbl)
+		b.cur = lbl
+		b.pendingLabels = append(b.pendingLabels, s.Label.Name)
 		b.stmt(s.Stmt)
 	case *ast.IfStmt:
 		b.stmt(s.Init)
@@ -163,7 +215,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		}
 		b.cur = join
 	case *ast.ForStmt:
-		label := b.takeLabel()
+		labels := b.takeLabels()
 		b.stmt(s.Init)
 		head := b.newBlock()
 		b.linkTo(head)
@@ -183,7 +235,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 			post = b.newBlock()
 			cont = post
 		}
-		b.push(branchTarget{label: label, brk: done, cont: cont})
+		b.push(branchTarget{labels: labels, brk: done, cont: cont})
 		b.cur = body
 		b.stmt(s.Body)
 		b.pop()
@@ -197,7 +249,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		}
 		b.cur = done
 	case *ast.RangeStmt:
-		label := b.takeLabel()
+		labels := b.takeLabels()
 		head := b.newBlock()
 		b.linkTo(head)
 		b.cur = head
@@ -206,29 +258,37 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		done := b.newBlock()
 		b.edge(head, body)
 		b.edge(head, done)
-		b.push(branchTarget{label: label, brk: done, cont: head})
+		b.push(branchTarget{labels: labels, brk: done, cont: head})
 		b.cur = body
 		b.stmt(s.Body)
 		b.pop()
 		b.linkTo(head)
 		b.cur = done
 	case *ast.SwitchStmt:
-		label := b.takeLabel()
+		labels := b.takeLabels()
 		b.stmt(s.Init)
 		if s.Tag != nil {
 			b.add(s.Tag)
 		}
-		b.switchBody(s.Body, label, false)
+		b.switchBody(s.Body, labels, false)
 	case *ast.TypeSwitchStmt:
-		label := b.takeLabel()
+		labels := b.takeLabels()
 		b.stmt(s.Init)
 		b.stmt(s.Assign) // evaluates the asserted operand; binding is per-case
-		b.switchBody(s.Body, label, true)
+		b.switchBody(s.Body, labels, true)
 	case *ast.SelectStmt:
-		label := b.takeLabel()
+		labels := b.takeLabels()
+		// Go evaluates every case's channel operand (and send value) at
+		// select entry, before any arm is chosen: hoist them into the head
+		// block so their effects lie on all paths.
+		for _, c := range s.Body.List {
+			for _, e := range commOperands(c.(*ast.CommClause)) {
+				b.add(e)
+			}
+		}
 		head := b.cur
 		done := b.newBlock()
-		b.push(branchTarget{label: label, brk: done})
+		b.push(branchTarget{labels: labels, brk: done})
 		for _, c := range s.Body.List {
 			cc := c.(*ast.CommClause)
 			blk := b.newBlock()
@@ -249,7 +309,10 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 	case *ast.BranchStmt:
 		switch s.Tok {
 		case token.GOTO:
-			b.bad = true
+			if s.Label != nil {
+				b.linkTo(b.labelBlock(s.Label.Name))
+			}
+			b.terminate()
 		case token.FALLTHROUGH:
 			if b.fallthroughTo != nil {
 				b.linkTo(b.fallthroughTo)
@@ -258,11 +321,17 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		case token.BREAK:
 			if t := b.findTarget(s, false); t != nil {
 				b.linkTo(t.brk)
+			} else {
+				// Cannot happen in type-checked code; stay conservative
+				// rather than silently dropping the path.
+				b.linkTo(b.preExit)
 			}
 			b.terminate()
 		case token.CONTINUE:
 			if t := b.findTarget(s, true); t != nil {
 				b.linkTo(t.cont)
+			} else {
+				b.linkTo(b.preExit)
 			}
 			b.terminate()
 		}
@@ -290,10 +359,10 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 // All case-body blocks are successors of the head: case expressions have
 // no side effects the analyzers track, so order of evaluation between
 // cases is not modeled.
-func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, typeSwitch bool) {
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, labels []string, typeSwitch bool) {
 	head := b.cur
 	done := b.newBlock()
-	b.push(branchTarget{label: label, brk: done})
+	b.push(branchTarget{labels: labels, brk: done})
 	clauses := body.List
 	blks := make([]*Block, len(clauses))
 	for i := range clauses {
@@ -344,7 +413,7 @@ func (b *cfgBuilder) findTarget(s *ast.BranchStmt, needCont bool) *branchTarget 
 		if needCont && t.cont == nil {
 			continue
 		}
-		if label == "" || t.label == label {
+		if label == "" || t.hasLabel(label) {
 			return t
 		}
 	}

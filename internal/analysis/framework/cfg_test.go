@@ -340,18 +340,127 @@ func TestCFGSelect(t *testing.T) {
 	if may != "a b c d e" {
 		t.Errorf("may = %q, want %q", may, "a b c d e")
 	}
-	if must != "e" { // each arm runs only one of a/b, and only one comm expr is modeled as taken
-		t.Errorf("must = %q, want %q", must, "e")
+	// Go evaluates every case's channel operand at select entry, so c()
+	// and d() lie on all paths; only one of a/b runs.
+	if must != "c d e" {
+		t.Errorf("must = %q, want %q", must, "c d e")
 	}
 }
 
-func TestCFGGotoUnsupported(t *testing.T) {
+func TestCFGSelectSendOperandsHoisted(t *testing.T) {
+	// The send value expression of an untaken arm is still evaluated at
+	// entry: a() must be on every path even when the receive arm wins.
 	cfg := parseFunc(t, `
-	goto done
+	select {
+	case c() <- a():
+	case <-d():
+		b()
+	}
+	e()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d e" {
+		t.Errorf("may = %q, want %q", may, "a b c d e")
+	}
+	if must != "a c d e" {
+		t.Errorf("must = %q, want %q", must, "a c d e")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	cfg := parseFunc(t, `
+	if c() {
+		goto done
+	}
+	a()
 done:
-	a()`)
-	if cfg != nil {
-		t.Error("BuildCFG should return nil for goto")
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c" {
+		t.Errorf("may = %q, want %q", may, "a b c")
+	}
+	if must != "b c" { // the goto path skips a() but still crosses b()
+		t.Errorf("must = %q, want %q", must, "b c")
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	// A hand-rolled loop: retry: ... if c() { goto retry }. The backward
+	// edge must exist (a() repeats) and the exit path must cross b().
+	cfg := parseFunc(t, `
+retry:
+	a()
+	if c() {
+		goto retry
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c" {
+		t.Errorf("may = %q, want %q", may, "a b c")
+	}
+	if must != "a b c" {
+		t.Errorf("must = %q, want %q", must, "a b c")
+	}
+}
+
+func TestCFGGotoSkipsRelease(t *testing.T) {
+	// The shape the ownership analyzers must see through: a goto that
+	// jumps over a cleanup call makes it a may-, not must-, call.
+	cfg := parseFunc(t, `
+	if c() {
+		goto skip
+	}
+	a()
+skip:
+	b()`)
+	_, must := exitFacts(t, cfg)
+	if strings.Contains(must, "a") {
+		t.Errorf("must = %q: a() lies only on the non-goto path", must)
+	}
+}
+
+func TestCFGStackedLabels(t *testing.T) {
+	// Two labels stack on one loop: the inner is break-able, the outer is
+	// a goto target that restarts the loop. Only the break exits.
+	cfg := parseFunc(t, `
+l1:
+l2:
+	for {
+		if c() {
+			break l2
+		}
+		if d() {
+			goto l1
+		}
+		a()
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d" {
+		t.Errorf("may = %q, want %q", may, "a b c d")
+	}
+	if must != "b c" { // the only exit is break l2, after c()
+		t.Errorf("must = %q, want %q", must, "b c")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	cfg := parseFunc(t, `
+outer:
+	for c() {
+		for d() {
+			if e() {
+				continue outer
+			}
+			a()
+		}
+	}
+	b()`)
+	may, must := exitFacts(t, cfg)
+	if may != "a b c d e" {
+		t.Errorf("may = %q, want %q", may, "a b c d e")
+	}
+	if must != "b c" {
+		t.Errorf("must = %q, want %q", must, "b c")
 	}
 }
 

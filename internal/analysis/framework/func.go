@@ -85,9 +85,9 @@ func declDisplayName(d *ast.FuncDecl) string {
 	return id.Name + "." + name
 }
 
-// CFG lazily builds (and caches) the function's control-flow graph. It
-// returns nil when the body uses an unsupported construct (goto); callers
-// skip such functions.
+// CFG lazily builds (and caches) the function's control-flow graph.
+// The full statement language is modeled (goto included), so the result
+// is non-nil for every type-checked body.
 func (f *FuncInfo) CFG() *CFG {
 	if !f.cfgBuilt {
 		f.cfg = BuildCFG(f.Body())

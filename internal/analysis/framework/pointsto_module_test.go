@@ -1,0 +1,23 @@
+package framework
+
+import (
+	"testing"
+)
+
+// TestPointsToModule builds the points-to analysis over the whole module:
+// a scale/termination canary (the lint budget depends on it) and a smoke
+// test that whole-module constraint generation handles every declaration
+// shape in the tree.
+func TestPointsToModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module solve")
+	}
+	ld := NewLoader("../../..")
+	pkgs, err := ld.LoadModule("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := NewProgram(pkgs)
+	pt := prog.PointsTo()
+	t.Logf("packages=%d nodes=%d objs=%d", len(pkgs), len(pt.nodes), len(pt.objs))
+}

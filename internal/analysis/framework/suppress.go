@@ -16,6 +16,13 @@ import (
 //	//simlint:hotpath                        doc comment: hot-path root for the call graph
 //	//simlint:acquire                        doc comment: function returns pooled/slab state
 //	//simlint:release                        doc comment: function releases pooled/slab state
+//	//simlint:outbox-transfer -- <reason>    doc comment: function is the audited cross-shard
+//	                                         hand-off verb (exempt from shardescape/windowsend)
+//	//simlint:shared -- <reason>             struct-field comment: deliberately shared across
+//	                                         shard workers (shardescape cut; atomic discipline
+//	                                         enforced by atomicshared)
+//	//simlint:outbox -- <reason>             struct-field comment: a cross-shard outbox slot
+//	                                         (singlewriter enforces one writer + barrier reads)
 //
 // An allow directive covers findings of the named analyzer on its own line
 // (trailing comment) or on the line immediately below (comment above the
@@ -23,6 +30,9 @@ import (
 // itself reported, so the repository can never accumulate unexplained
 // suppressions. The hotpath/acquire/release verbs annotate function
 // declarations and are consumed through Program (callgraph.go), not here.
+// The three shard-ownership verbs (outbox-transfer, shared, outbox) are
+// part of the audited-exception surface: each requires a reason and is
+// listed by `simlint -audit` (DESIGN.md §6, "Shard-ownership rules").
 type Directive struct {
 	Pos  token.Position
 	Verb string // "allow", "rank-handoff", ...
@@ -86,6 +96,16 @@ func Suppressions(pkgs []*Package) []Suppression {
 						Pos:      d.Pos,
 						Verb:     d.Verb,
 						Analyzer: "nogoroutine",
+						Reason:   strings.TrimSpace(reason),
+					})
+				case "outbox-transfer", "shared", "outbox":
+					// The shard-ownership protocol verbs: each marks an audited
+					// exception consumed by the shardsafe analyzer family.
+					_, reason, _ := strings.Cut(d.Args, "--")
+					out = append(out, Suppression{
+						Pos:      d.Pos,
+						Verb:     d.Verb,
+						Analyzer: "shardsafe",
 						Reason:   strings.TrimSpace(reason),
 					})
 				}

@@ -1,0 +1,98 @@
+// Package pta is the unit fixture for the points-to solver: small,
+// self-contained shapes whose expected alias facts the test asserts
+// directly (no // want comments — the solver has no diagnostics).
+package pta
+
+type Node struct {
+	name string
+	next *Node
+}
+
+type Ring struct {
+	head *Node
+	tail *Node
+}
+
+// Two distinct allocation sites; a and b must not alias, a and c must.
+func Distinct() (*Node, *Node, *Node) {
+	a := &Node{name: "a"}
+	b := &Node{name: "b"}
+	c := a
+	return a, b, c
+}
+
+// Field sensitivity: head and tail point at different objects even
+// though they live in one struct.
+func Fields() *Ring {
+	r := &Ring{}
+	r.head = &Node{name: "h"}
+	r.tail = &Node{name: "t"}
+	return r
+}
+
+// identity is resolved interprocedurally: out aliases in.
+func identity(n *Node) *Node { return n }
+
+func ThroughCall() (*Node, *Node) {
+	x := &Node{name: "x"}
+	y := identity(x)
+	return x, y
+}
+
+// Globals are shared across the program.
+var shared *Node
+
+func Publish() {
+	shared = &Node{name: "g"}
+}
+
+func Consume() *Node {
+	return shared
+}
+
+// escape passes its argument to an unresolved call (a stored function
+// value), so the argument reaches Unknown.
+var hook func(*Node)
+
+func Escape() *Node {
+	e := &Node{name: "e"}
+	hook(e)
+	return e
+}
+
+// Containers: slice elements collapse, but distinct slices stay apart.
+func Slices() ([]*Node, []*Node) {
+	s1 := []*Node{{name: "s1"}}
+	s2 := make([]*Node, 0, 4)
+	s2 = append(s2, &Node{name: "s2"})
+	return s1, s2
+}
+
+// Chains: reachability must follow next pointers.
+func Chain() *Node {
+	a := &Node{name: "head"}
+	a.next = &Node{name: "mid"}
+	a.next.next = &Node{name: "tail"}
+	return a
+}
+
+// Worker/coordinator shape in miniature: the worker captures one shard
+// engine; the coordinator back-reference is the cut edge.
+type Coord struct {
+	shards []*Eng
+}
+
+type Eng struct {
+	owner *Coord
+	heap  []*Node
+}
+
+func Build() *Coord {
+	c := &Coord{}
+	for i := 0; i < 4; i++ {
+		e := &Eng{owner: c}
+		e.heap = append(e.heap, &Node{name: "ev"})
+		c.shards = append(c.shards, e)
+	}
+	return c
+}

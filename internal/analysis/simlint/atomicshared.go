@@ -1,0 +1,182 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// AtomicShared enforces the access discipline on deliberately shared
+// state — the cuts the shardescape ownership closure stops at:
+//
+//  1. Mixed discipline anywhere in simulation scope: a variable or field
+//     whose address feeds a sync/atomic call at one site must never be
+//     read or written plainly at another (the PR-that-introduced-mem.live
+//     regression class: one dropped atomic silently breaks the pair).
+//  2. Worker-side plain access to //simlint:shared fields: code in the
+//     shard-worker closure may touch an annotated shared field only
+//     through sync/atomic (or a sync/atomic-typed field, atomic by
+//     construction). Audited //simlint:outbox-transfer functions are
+//     exempt — their cross-shard reads are part of the reviewed verb.
+var AtomicShared = &framework.Analyzer{
+	Name: "atomicshared",
+	Doc: "state shared across shard workers (//simlint:shared fields, atomically " +
+		"accessed vars) must be accessed through sync/atomic consistently",
+	Run: runAtomicShared,
+}
+
+func runAtomicShared(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	c := shardContext(pass)
+	if len(c.atomicKeys) == 0 && len(c.sharedFields) == 0 {
+		return nil
+	}
+	pkg := c.passPkg(pass)
+	if pkg == nil {
+		return nil
+	}
+	// Worker goroutine literals are scanned on their own (worker-side);
+	// skip them while walking their enclosing declaration.
+	workerLit := make(map[*ast.FuncLit]bool)
+	for _, site := range c.workerLits {
+		if site.pkg.Types == pass.Pkg {
+			workerLit[site.lit] = true
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		atomicArgs := atomicArgRanges(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fid := framework.FuncID(fn)
+			workside := c.workerFuncs[fid] && !c.transferFns[fid]
+			scanAtomicAccesses(pass, c, pkg, fd.Body, workside, atomicArgs, workerLit)
+		}
+	}
+	for _, site := range c.workerLits {
+		if site.pkg.Types != pass.Pkg {
+			continue
+		}
+		file := enclosingFile(pass, site.lit.Pos())
+		if file == nil {
+			continue
+		}
+		scanAtomicAccesses(pass, c, pkg, site.lit.Body, true, atomicArgRanges(pass, file), nil)
+	}
+	return nil
+}
+
+// atomicArgRanges records the source ranges of `&x` arguments inside
+// sync/atomic calls: accesses within them ARE the atomic discipline.
+func atomicArgRanges(pass *framework.Pass, f *ast.File) []posRange {
+	var out []posRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, a := range call.Args {
+			if un, ok := a.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				out = append(out, posRange{lo: a.Pos(), hi: a.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func scanAtomicAccesses(pass *framework.Pass, c *shardCtx, pkg *framework.Package,
+	body *ast.BlockStmt, workside bool, atomicArgs []posRange, skipLits map[*ast.FuncLit]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var key string
+		var typ types.Type
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return !skipLits[x]
+		case *ast.SelectorExpr:
+			key = c.selectorFieldKey(pkg, x)
+			if obj, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+				typ = obj.Type()
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok && v.Pkg() != nil &&
+				!v.IsField() && v.Parent() == v.Pkg().Scope() {
+				key = v.Pkg().Path() + "." + v.Name()
+				typ = v.Type()
+			}
+		default:
+			return true
+		}
+		if key == "" {
+			return true
+		}
+		if inRanges(atomicArgs, n.Pos()) || atomicTyped(typ) {
+			// A sanctioned atomic access sanctions its whole base path:
+			// atomic.AddUint64(&s.co.gen, 1) and s.co.live.Add(1) read the
+			// backref pointer only to reach the atomic cell.
+			return false
+		}
+		if sites, mixed := c.atomicKeys[key]; mixed {
+			pass.Reportf(n.Pos(),
+				"plain access to %s, which is accessed through sync/atomic elsewhere (%s): one discipline only",
+				key, sites[0])
+			return false
+		}
+		if _, shared := c.sharedFields[key]; shared && workside {
+			pass.Reportf(n.Pos(),
+				"shard-worker code accesses //simlint:shared field %s without sync/atomic", key)
+			return false
+		}
+		return true
+	})
+}
+
+// atomicTyped reports whether a storage type comes from sync/atomic
+// (atomic.Int64 and friends): atomic by construction.
+func atomicTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// enclosingFile finds the syntax file containing pos.
+func enclosingFile(pass *framework.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -58,8 +58,8 @@ func runNoGoroutine(pass *framework.Pass) error {
 			continue // literals are checked within their enclosing declaration
 		}
 		c := &goroutineCtx{
-			pass:   pass,
-			inAmpi: inAmpi,
+			pass:           pass,
+			inAmpi:         inAmpi,
 			rankAnnotated:  lineChecker(pass, rank[fi.File]),
 			shardAnnotated: lineChecker(pass, shard[fi.File]),
 		}

@@ -1,0 +1,668 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// This file builds the whole-program context the shardsafe analyzer
+// family (shardescape, atomicshared, singlewriter, windowsend) shares:
+// which functions run on a shard worker's goroutine, which abstract
+// objects a worker may own, and where the shard-ownership annotations
+// (//simlint:shared, //simlint:outbox, //simlint:outbox-transfer) sit.
+//
+// The ownership model, stated once (DESIGN.md §6 "Shard-ownership
+// rules"): a worker site is a shape-verified `//simlint:shard-worker`
+// goroutine. Everything the worker goroutine can reach — the functions
+// in the call-graph closure of its body, and the abstract objects in the
+// points-to closure of its captured variables — is *worker-side*. The
+// points-to closure is cut at `//simlint:shared` fields (deliberately
+// shared state, whose access discipline atomicshared enforces) and at
+// interface-typed cells (dynamic-dispatch surfaces the static analysis
+// does not resolve; the runtime lookahead panic in Shard.Send guards
+// them). Inside worker-side code, writes must stay within the owned
+// region (shardescape), scheduling must not target another shard except
+// through the audited outbox verb (windowsend), and each outbox has one
+// appender with barrier-side reads (singlewriter).
+//
+// Context-insensitivity makes all shards one abstract region: the check
+// is ownership *confinement*, not per-instance separation. Confinement +
+// the coordinator barrier (shape-verified by nogoroutine) + atomic
+// discipline on the shared cuts together give race freedom for
+// reflection-free code — the documented soundness contract.
+
+// fieldAnn is one annotated struct field.
+type fieldAnn struct {
+	pos    token.Position
+	reason string
+}
+
+// outboxAccess is one syntactic touch of an //simlint:outbox field.
+type outboxAccess struct {
+	key       string // "pkg.Type.field"
+	funcID    string // enclosing declared function
+	fnDisplay string
+	pkgPath   string
+	pos       token.Pos
+	position  token.Position
+	appends   bool // assignment whose RHS appends to the field
+	writes    bool // any assignment through the field
+	annotated bool // enclosing function carries //simlint:outbox-transfer
+	workside  bool // enclosing function is worker-reachable
+}
+
+// litSite is one shard-worker goroutine literal plus the variables it
+// captures (the roots of its owned region).
+type litSite struct {
+	pkg   *framework.Package
+	lit   *ast.FuncLit
+	roots []types.Object
+}
+
+type shardCtx struct {
+	prog *framework.Program
+	pt   *framework.PointsTo
+
+	workerFuncs map[string]bool // FuncID -> reachable from a worker body
+	transferFns map[string]bool // FuncID -> //simlint:outbox-transfer
+	workerLits  []litSite
+	// Source ranges of worker-side code (declared functions and worker
+	// literals); locals allocated inside them are worker-local storage.
+	workerRanges []posRange
+
+	sharedFields map[string]fieldAnn // "pkg.Type.field"
+	outboxFields map[string]fieldAnn
+
+	owned map[int]bool // object ids in some worker's owned region
+
+	outboxUses []outboxAccess
+
+	// atomicKeys: vars/fields whose address is passed to a sync/atomic
+	// function somewhere in the module ("pkg.name" or "pkg.Type.field").
+	atomicKeys map[string][]token.Position
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p <= r.hi }
+
+// shardContext builds (once per Run) the shared shardsafe context.
+func shardContext(pass *framework.Pass) *shardCtx {
+	return pass.Prog.Memo("shardctx", func() any {
+		c := &shardCtx{
+			prog:         pass.Prog,
+			workerFuncs:  make(map[string]bool),
+			transferFns:  make(map[string]bool),
+			sharedFields: make(map[string]fieldAnn),
+			outboxFields: make(map[string]fieldAnn),
+			owned:        make(map[int]bool),
+			atomicKeys:   make(map[string][]token.Position),
+		}
+		c.collectAnnotations()
+		c.collectWorkers()
+		if len(c.workerLits) > 0 {
+			c.pt = c.prog.PointsTo()
+			c.computeOwned()
+		}
+		c.collectOutboxUses()
+		c.collectAtomicKeys()
+		return c
+	}).(*shardCtx)
+}
+
+// collectAnnotations gathers field-level //simlint:shared and
+// //simlint:outbox annotations and function-level //simlint:outbox-transfer.
+func (c *shardCtx) collectAnnotations() {
+	for _, pkg := range c.prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if fnDocDirective(d, "outbox-transfer") {
+						if fn, ok := pkg.TypesInfo.Defs[d.Name].(*types.Func); ok {
+							if id := framework.FuncID(fn); id != "" {
+								c.transferFns[id] = true
+							}
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, fld := range st.Fields.List {
+							verb, reason := fieldDirective(fld)
+							if verb == "" {
+								continue
+							}
+							for _, name := range fld.Names {
+								key := pkg.Types.Path() + "." + ts.Name.Name + "." + name.Name
+								ann := fieldAnn{pos: pkg.Fset.Position(fld.Pos()), reason: reason}
+								switch verb {
+								case "shared":
+									c.sharedFields[key] = ann
+								case "outbox":
+									c.outboxFields[key] = ann
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldDirective extracts a shard-ownership directive from a struct
+// field's doc or trailing comment.
+func fieldDirective(fld *ast.Field) (verb, reason string) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			for _, v := range []string{"shared", "outbox"} {
+				rest, ok := strings.CutPrefix(cm.Text, "//simlint:"+v)
+				if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+					continue
+				}
+				_, r, _ := strings.Cut(rest, "--")
+				return v, strings.TrimSpace(r)
+			}
+		}
+	}
+	return "", ""
+}
+
+// fnDocDirective is docDirective generalized over any verb.
+func fnDocDirective(fd *ast.FuncDecl, verb string) bool { return docDirective(fd, verb) }
+
+// collectWorkers finds every annotated shard-worker goroutine literal in
+// simulation scope and expands the call-graph closure of its body.
+func (c *shardCtx) collectWorkers() {
+	for _, pkg := range c.prog.Pkgs {
+		if !simulationScope(pkg.PkgPath) {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			lines := make(map[int]bool)
+			for _, d := range framework.Directives(pkg.Fset, f) {
+				if d.Verb == "shard-worker" {
+					lines[d.Pos.Line] = true
+				}
+			}
+			if len(lines) == 0 {
+				continue
+			}
+			pkg := pkg
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				line := pkg.Fset.Position(g.Pos()).Line
+				if !lines[line] && !lines[line-1] {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if strings.HasSuffix(pkg.Fset.Position(g.Pos()).Filename, "_test.go") {
+					return true
+				}
+				site := litSite{pkg: pkg, lit: lit}
+				c.workerRanges = append(c.workerRanges, posRange{lo: lit.Pos(), hi: lit.End()})
+				// Call-graph closure of every declared function the body
+				// references, and the captured variables (owned-region roots).
+				seen := make(map[types.Object]bool)
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch obj := pkg.TypesInfo.Uses[id].(type) {
+					case *types.Func:
+						for fid := range c.prog.Reachable(obj) {
+							c.workerFuncs[fid] = true
+						}
+					case *types.Var:
+						if !obj.IsField() && !seen[obj] &&
+							(obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+							seen[obj] = true
+							site.roots = append(site.roots, obj)
+						}
+					}
+					return true
+				})
+				// The captured handles' method sets are the sanctioned
+				// in-window API (the workload's event callbacks run on this
+				// goroutine and may call nothing else), so their closure is
+				// worker-side too — this is how Engine.At/acquire/nextSeq
+				// enter the scan even though event firing is a dynamic call.
+				for _, r := range site.roots {
+					t := r.Type()
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					named, ok := t.(*types.Named)
+					if !ok {
+						continue
+					}
+					for i := 0; i < named.NumMethods(); i++ {
+						for fid := range c.prog.Reachable(named.Method(i)) {
+							c.workerFuncs[fid] = true
+						}
+					}
+				}
+				c.workerLits = append(c.workerLits, site)
+				return true
+			})
+		}
+	}
+	// Record source ranges of worker-side declared functions, so their
+	// locals count as worker-local storage.
+	for _, pkg := range c.prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn != nil && c.workerFuncs[framework.FuncID(fn)] {
+					c.workerRanges = append(c.workerRanges, posRange{lo: fd.Pos(), hi: fd.End()})
+				}
+			}
+		}
+	}
+}
+
+// passPkg resolves a Pass back to its loaded Package (the points-to
+// query API wants the package, which Pass does not carry directly).
+func (c *shardCtx) passPkg(pass *framework.Pass) *framework.Package {
+	for _, p := range c.prog.Pkgs {
+		if p.Types == pass.Pkg {
+			return p
+		}
+	}
+	return nil
+}
+
+// workerLocal reports whether a position lies inside worker-side code.
+func (c *shardCtx) workerLocal(p token.Pos) bool {
+	for _, r := range c.workerRanges {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// computeOwned seeds each worker literal's captured variables and takes
+// the points-to closure with two filters layered over the type-blind
+// Andersen result: a cell is followed only when ownershipCut admits it,
+// and a cell's members join the region only when their static type is
+// compatible with the cell's (memberAdmissible). The member filter is
+// what survives conflation: when unrelated values collapse into one
+// node — an `any` round-trip, a shared summary object — its cells fill
+// with members of impossible types, and following them would sweep
+// arbitrary program state, the coordinator included, into the owned
+// region. Over-approximated ownership is the unsound direction for a
+// race check, so incompatible members are dropped. The unknown object
+// summarizes everything that escaped analysis and never counts as owned.
+func (c *shardCtx) computeOwned() {
+	for _, site := range c.workerLits {
+		var queue []*framework.PObj
+		push := func(o *framework.PObj, want types.Type) {
+			if o == nil || o.Kind == framework.ObjUnknown {
+				return
+			}
+			if !memberAdmissible(o.Type, want) {
+				return
+			}
+			if c.owned[o.ID] {
+				return
+			}
+			c.owned[o.ID] = true
+			queue = append(queue, o)
+		}
+		for _, r := range site.roots {
+			for _, o := range c.pt.VarPointsTo(r) {
+				push(o, cellStaticType(r.Type(), ""))
+			}
+		}
+		for len(queue) > 0 {
+			o := queue[0]
+			queue = queue[1:]
+			for _, field := range c.pt.Cells(o) {
+				if c.ownershipCut(o, field) {
+					continue
+				}
+				cellT := cellStaticType(o.Type, field)
+				if fo := c.pt.CellObj(o, field); fo != nil {
+					push(fo, nil)
+				}
+				for _, m := range c.pt.CellMembers(o, field) {
+					push(m, cellStaticType(cellT, ""))
+				}
+			}
+		}
+	}
+}
+
+// memberAdmissible reports whether an object of static type ot can
+// legitimately inhabit a cell whose member type is want. A nil want
+// admits anything (the caller had no type to check against — cell
+// objects vetted by ownershipCut); a nil ot in a typed cell is a
+// synthetic conflation artifact and is rejected.
+func memberAdmissible(ot, want types.Type) bool {
+	if want == nil {
+		return true
+	}
+	if ot == nil {
+		return false
+	}
+	a, b := stripPtr(ot), stripPtr(want)
+	return types.Identical(a, b) || types.AssignableTo(a, b) || types.AssignableTo(b, a)
+}
+
+func stripPtr(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// ownershipCut prunes the owned-region traversal: stop at the universal
+// unknown object, at //simlint:shared fields, at interface-typed cells
+// (including the direct value of interface-typed storage), and at any
+// cell that is not expressible in the object's static type. The last rule
+// is the type filter over the type-blind Andersen result: when unrelated
+// values conflate into one node (an `any` round-trip, a shared summary
+// object), the solver materializes cells like a struct field on a channel
+// object; following them would sweep arbitrary program state into the
+// owned region. Over-approximating ownership is the unsound direction for
+// a race check — an un-typable cell is always cut.
+func (c *shardCtx) ownershipCut(o *framework.PObj, field string) bool {
+	if o.Kind == framework.ObjUnknown {
+		return true
+	}
+	if key := fieldKeyOfType(o.Type, field); key != "" {
+		if _, shared := c.sharedFields[key]; shared {
+			return true
+		}
+	}
+	t := cellStaticType(o.Type, field)
+	if t == nil {
+		return true
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return true
+	}
+	return false
+}
+
+// fieldKeyOfType resolves "pkg.Type.field" for a named field of a (possibly
+// pointer-to) named struct type; "" for synthetic cells and unnamed types.
+func fieldKeyOfType(t types.Type, field string) string {
+	if t == nil || field == "" || strings.HasPrefix(field, "$") {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field
+}
+
+// cellStaticType best-effort resolves the static type of an object's
+// cell: a named field, the element/key payload, or the direct value.
+func cellStaticType(t types.Type, field string) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch field {
+	case "", "$val":
+		// The direct-value cell of pointer storage holds the pointee; for
+		// reference types (slice/map/chan) and plain values it holds
+		// objects of the storage's own type.
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			return p.Elem()
+		}
+		return t
+	case "$elem":
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			return u.Elem()
+		case *types.Array:
+			return u.Elem()
+		case *types.Map:
+			return u.Elem()
+		case *types.Chan:
+			return u.Elem()
+		case *types.Pointer:
+			if a, ok := u.Elem().Underlying().(*types.Array); ok {
+				return a.Elem()
+			}
+		}
+		return nil
+	case "$key":
+		if m, ok := t.Underlying().(*types.Map); ok {
+			return m.Key()
+		}
+		return nil
+	default:
+		// Named field: reuse the pointsto helper through the public shape.
+		base := t
+		if p, ok := base.Underlying().(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		if st, ok := base.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == field {
+					return st.Field(i).Type()
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// collectOutboxUses records every syntactic access of an outbox field.
+func (c *shardCtx) collectOutboxUses() {
+	if len(c.outboxFields) == 0 {
+		return
+	}
+	for _, pkg := range c.prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if strings.HasSuffix(pkg.Fset.Position(fd.Pos()).Filename, "_test.go") {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				fid := framework.FuncID(fn)
+				c.scanOutboxFn(pkg, fd, fid)
+			}
+		}
+	}
+	sort.Slice(c.outboxUses, func(i, j int) bool {
+		a, b := c.outboxUses[i], c.outboxUses[j]
+		if a.position.Filename != b.position.Filename {
+			return a.position.Filename < b.position.Filename
+		}
+		return a.position.Line < b.position.Line
+	})
+}
+
+func (c *shardCtx) scanOutboxFn(pkg *framework.Package, fd *ast.FuncDecl, fid string) {
+	// Assignment LHS selectors count as writes; append RHS as production.
+	// An appending assignment sanctions every selector inside the whole
+	// statement: `s.out[d] = append(s.out[d], ev)` mentions the field
+	// twice, and the RHS read is part of the append, not a separate
+	// barrier-violating access.
+	writes := make(map[*ast.SelectorExpr]bool)
+	appends := make(map[*ast.SelectorExpr]bool)
+	var appendRanges []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		rhsAppends := false
+		for _, r := range as.Rhs {
+			ast.Inspect(r, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+						rhsAppends = true
+					}
+				}
+				return true
+			})
+		}
+		for _, l := range as.Lhs {
+			if sel := baseSelector(l); sel != nil {
+				writes[sel] = true
+				if rhsAppends {
+					appends[sel] = true
+					appendRanges = append(appendRanges, posRange{as.Pos(), as.End()})
+				}
+			}
+		}
+		return true
+	})
+	inAppendStmt := func(p token.Pos) bool {
+		for _, r := range appendRanges {
+			if r.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key := c.selectorFieldKey(pkg, sel)
+		if key == "" {
+			return true
+		}
+		if _, isOutbox := c.outboxFields[key]; !isOutbox {
+			return true
+		}
+		if inAppendStmt(sel.Pos()) && !writes[sel] {
+			// The RHS mention inside the appending statement itself: part
+			// of the one protocol action the LHS access records.
+			return true
+		}
+		c.outboxUses = append(c.outboxUses, outboxAccess{
+			key:       key,
+			funcID:    fid,
+			fnDisplay: fd.Name.Name,
+			pkgPath:   pkg.PkgPath,
+			pos:       sel.Pos(),
+			position:  pkg.Fset.Position(sel.Pos()),
+			appends:   appends[sel],
+			writes:    writes[sel],
+			annotated: c.transferFns[fid],
+			workside:  c.workerFuncs[fid],
+		})
+		return true
+	})
+}
+
+// baseSelector unwraps an lvalue to the selector at its base, if any:
+// x.f, x.f[i], (x.f)[i].
+func baseSelector(l ast.Expr) *ast.SelectorExpr {
+	for {
+		switch e := l.(type) {
+		case *ast.SelectorExpr:
+			return e
+		case *ast.IndexExpr:
+			l = e.X
+		case *ast.ParenExpr:
+			l = e.X
+		case *ast.StarExpr:
+			l = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selectorFieldKey resolves x.f to "pkg.Type.field" when f is a named
+// struct field, "" otherwise.
+func (c *shardCtx) selectorFieldKey(pkg *framework.Package, sel *ast.SelectorExpr) string {
+	s, ok := pkg.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	return fieldKeyOfType(s.Recv(), sel.Sel.Name)
+}
+
+// collectAtomicKeys records vars/fields whose address feeds a
+// sync/atomic call anywhere in the module, plus local helpers for the
+// atomicshared analyzer.
+func (c *shardCtx) collectAtomicKeys() {
+	for _, pkg := range c.prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, a := range call.Args {
+					un, ok := a.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if key := c.addressedKey(pkg, un.X); key != "" {
+						c.atomicKeys[key] = append(c.atomicKeys[key], pkg.Fset.Position(a.Pos()))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// addressedKey names the storage &x refers to: "pkg.name" for a
+// package-level var, "pkg.Type.field" for a struct field.
+func (c *shardCtx) addressedKey(pkg *framework.Package, x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if v, ok := pkg.TypesInfo.Uses[x].(*types.Var); ok && v.Pkg() != nil &&
+			!v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		return c.selectorFieldKey(pkg, x)
+	}
+	return ""
+}

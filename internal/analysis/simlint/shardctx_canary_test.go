@@ -1,0 +1,117 @@
+package simlint
+
+import (
+	"go/ast"
+	"testing"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// TestShardCtxRealTree is the shard-ownership canary over the real
+// module: the worker closure must include the dynamic-dispatch surface
+// (Engine.nextSeq via the captured Shard handle's method set), the owned
+// region must stay tight (the type filter keeps Andersen conflation from
+// sweeping the program into it), and the lockstep sequence-counter store
+// must resolve to non-owned coordinator state — the finding the audited
+// //simlint:allow in nextSeq suppresses.
+func TestShardCtxRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module points-to in -short mode")
+	}
+	ld := framework.NewLoader("../../..")
+	pkgs, err := ld.LoadModule("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := framework.NewProgram(pkgs)
+	var simPkg *framework.Package
+	for _, p := range pkgs {
+		if p.PkgPath == "charmgo/internal/sim" {
+			simPkg = p
+			break
+		}
+	}
+	if simPkg == nil {
+		t.Fatal("no sim package")
+	}
+	var diags []framework.Diagnostic
+	pass := framework.NewPass(ShardEscape, simPkg, prog, &diags)
+	c := shardContext(pass)
+	t.Logf("workerLits=%d workerFuncs=%d owned=%d shared=%d outbox=%d transfer=%d",
+		len(c.workerLits), len(c.workerFuncs), len(c.owned),
+		len(c.sharedFields), len(c.outboxFields), len(c.transferFns))
+
+	if len(c.workerLits) != 1 {
+		t.Fatalf("worker literals = %d, want 1 (startWorkers)", len(c.workerLits))
+	}
+	for _, fid := range []string{
+		"charmgo/internal/sim.(Engine).nextSeq",
+		"charmgo/internal/sim.(Engine).acquire",
+		"charmgo/internal/sim.(Engine).RunUntil",
+		"charmgo/internal/sim.(Shard).Send",
+	} {
+		if !c.workerFuncs[fid] {
+			t.Errorf("worker closure misses %s", fid)
+		}
+	}
+	if c.workerFuncs["charmgo/internal/sim.(ShardedEngine).mergeOutboxes"] {
+		t.Error("mergeOutboxes must stay coordinator-side (not worker-reachable)")
+	}
+	// The gemini Network's cross-shard booking cells are annotated: the
+	// stepping stone to shard-local link booking (DESIGN.md §6). Pinning
+	// them here keeps the annotations from silently falling off the
+	// fields they document.
+	for _, key := range []string{
+		"charmgo/internal/gemini.Network.links",
+		"charmgo/internal/gemini.Network.routes",
+		"charmgo/internal/gemini.Network.transfers",
+		"charmgo/internal/gemini.Network.bytes",
+	} {
+		if _, ok := c.sharedFields[key]; !ok {
+			t.Errorf("missing //simlint:shared annotation for %s", key)
+		}
+	}
+	// The owned region is the shard's private world: nonempty, but far
+	// below the whole-object population. Before the type-filtered cut it
+	// swept ~80% of all abstract objects through conflated cells.
+	if len(c.owned) == 0 {
+		t.Error("owned region is empty")
+	}
+	if total := 500; len(c.owned) > total {
+		t.Errorf("owned region has %d objects, want <= %d: the ownership cut is leaking", len(c.owned), total)
+	}
+
+	// The lockstep counter store (*e.seqp = s+1 in nextSeq) must resolve
+	// to non-owned targets: that is the finding the audited allow covers.
+	found := false
+	for _, f := range simPkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			se, ok := as.Lhs[0].(*ast.StarExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := se.X.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "seqp" {
+				return true
+			}
+			found = true
+			targets := c.pt.WriteTargets(c.passPkg(pass), as.Lhs[0])
+			if len(targets) == 0 {
+				t.Error("seqp store resolves to no targets")
+			}
+			for _, tg := range targets {
+				if c.owned[tg.Obj.ID] {
+					t.Errorf("seqp store target %v is owned; the shared-field cut failed", tg.Obj)
+				}
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Error("no *e.seqp store found in internal/sim")
+	}
+}

@@ -1,0 +1,144 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// ShardEscape proves write confinement for shard workers: every store
+// executed by worker-side code must land in the worker's owned region —
+// the points-to closure of the goroutine's captured variables, cut at
+// //simlint:shared fields and interface cells — or in storage the worker
+// itself allocates. Anything else is a potential cross-shard or
+// merge-barrier alias and must instead go through a function annotated
+// //simlint:outbox-transfer.
+//
+// Precision contract: Andersen context-insensitivity collapses all
+// shards into one abstract region, so the analyzer checks confinement
+// (the write is explainable as shard-local), not per-instance
+// separation: a write passes when at least one of its may-targets is
+// owned or worker-allocated. A write whose every target lies outside the
+// region — coordinator state behind a //simlint:shared cut, a global, a
+// coordinator-side local, or the unknown region fed by unresolved calls
+// — is reported.
+var ShardEscape = &framework.Analyzer{
+	Name: "shardescape",
+	Doc: "writes in shard-worker code must stay within the worker's owned region; " +
+		"cross-shard hand-offs go through //simlint:outbox-transfer functions",
+	Run: runShardEscape,
+}
+
+func runShardEscape(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	c := shardContext(pass)
+	if len(c.workerLits) == 0 {
+		return nil
+	}
+	pkg := c.passPkg(pass)
+	if pkg == nil {
+		return nil
+	}
+	for _, body := range workerBodies(pass, c) {
+		scanEscapes(pass, c, pkg, body)
+	}
+	return nil
+}
+
+// workerBodies returns the worker-side code of this pass's package:
+// bodies of declared functions in the worker closure (minus the audited
+// outbox-transfer verbs) plus shard-worker goroutine literals.
+func workerBodies(pass *framework.Pass, c *shardCtx) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fid := framework.FuncID(fn)
+			if fid == "" || !c.workerFuncs[fid] || c.transferFns[fid] {
+				continue
+			}
+			out = append(out, fd.Body)
+		}
+	}
+	for _, site := range c.workerLits {
+		if site.pkg.Types == pass.Pkg {
+			out = append(out, site.lit.Body)
+		}
+	}
+	return out
+}
+
+// scanEscapes walks one worker-side body and checks every store.
+func scanEscapes(pass *framework.Pass, c *shardCtx, pkg *framework.Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals run on the same goroutine unless spawned; a
+			// spawned one would need its own shard-worker audit. Keep
+			// scanning — their stores execute worker-side.
+			return true
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok && (id.Name == "_" || n.Tok == token.DEFINE) {
+					_ = i
+					continue
+				}
+				checkStore(pass, c, pkg, l)
+			}
+		case *ast.IncDecStmt:
+			checkStore(pass, c, pkg, n.X)
+		}
+		return true
+	})
+}
+
+func checkStore(pass *framework.Pass, c *shardCtx, pkg *framework.Package, l ast.Expr) {
+	targets := c.pt.WriteTargets(pkg, l)
+	if len(targets) == 0 {
+		return
+	}
+	var worst *framework.PObj
+	for _, t := range targets {
+		o := t.Obj
+		switch {
+		case o.Kind == framework.ObjFunc:
+			// A function object in a write-target set is conflation noise
+			// (code is immutable); it neither explains nor condemns the
+			// store.
+			continue
+		case c.owned[o.ID]:
+			// Explainable as a store into the shard-owned region.
+			return
+		case o.Kind != framework.ObjUnknown && c.workerLocal(o.Pos):
+			// Storage the worker side itself allocates.
+			return
+		}
+		if worst == nil || o.Kind == framework.ObjUnknown {
+			worst = o
+		}
+	}
+	if worst == nil {
+		return
+	}
+	if worst.Kind == framework.ObjUnknown {
+		pass.Reportf(l.Pos(),
+			"shard worker may write state that escaped analysis through an unresolved call; "+
+				"route cross-shard hand-offs through an //simlint:outbox-transfer function")
+		return
+	}
+	pass.Reportf(l.Pos(),
+		"shard worker writes non-owned state (%s): cross-shard and barrier hand-offs must go "+
+			"through an //simlint:outbox-transfer function or a //simlint:shared field's atomic discipline",
+		worst)
+}

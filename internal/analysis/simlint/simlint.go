@@ -21,8 +21,11 @@ import (
 )
 
 // Analyzers returns the full suite in stable order: the five determinism
-// analyzers from PR 2, then the four ownership analyzers built on the
-// CFG/dataflow engine (framework/cfg.go, dataflow.go, callgraph.go).
+// analyzers from PR 2, the four ownership analyzers built on the
+// CFG/dataflow engine (framework/cfg.go, dataflow.go, callgraph.go), then
+// the shardsafe family built on the interprocedural points-to analysis
+// (framework/pointsto.go) that proves the parallel-window kernel's
+// shard-ownership discipline.
 func Analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		NoWallClock,
@@ -34,6 +37,10 @@ func Analyzers() []*framework.Analyzer {
 		UseAfterRelease,
 		HotPathAlloc,
 		CloseChain,
+		ShardEscape,
+		AtomicShared,
+		SingleWriter,
+		WindowSend,
 	}
 }
 

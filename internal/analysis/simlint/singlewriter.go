@@ -1,0 +1,79 @@
+package simlint
+
+import (
+	"strings"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// SingleWriter pins the cross-shard outbox protocol down statically.
+// Fields annotated //simlint:outbox (the per-destination buffers a shard
+// worker appends to and the barrier drains) obey three rules:
+//
+//  1. Every function that touches an outbox field carries
+//     //simlint:outbox-transfer — outbox traffic is an audited surface.
+//  2. Exactly one function appends (the single writer); a second
+//     appender would race the producer inside a window.
+//  3. Any other accessor must not be reachable from the shard-worker
+//     closure: outbox reads and drains happen at the barrier, after the
+//     workers have joined.
+//
+// Composite-literal construction (make in the coordinator's constructor)
+// is not an access: the protocol governs the running exchange, not setup.
+var SingleWriter = &framework.Analyzer{
+	Name: "singlewriter",
+	Doc: "//simlint:outbox fields have one appending writer and barrier-side " +
+		"readers, all inside //simlint:outbox-transfer functions",
+	Run: runSingleWriter,
+}
+
+func runSingleWriter(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	c := shardContext(pass)
+	if len(c.outboxUses) == 0 {
+		return nil
+	}
+	// The canonical writer per outbox key: the first appending function in
+	// deterministic (file, line) order. With a correct tree there is only
+	// one, so the choice never matters; under a violation it makes the
+	// report stable.
+	writer := make(map[string]outboxAccess)
+	for _, use := range c.outboxUses {
+		if use.appends {
+			if _, ok := writer[use.key]; !ok {
+				writer[use.key] = use
+			}
+		}
+	}
+	for _, use := range c.outboxUses {
+		if use.pkgPath != pass.PkgPath {
+			continue
+		}
+		short := shortKey(use.key)
+		if !use.annotated {
+			pass.Reportf(use.pos,
+				"outbox field %s accessed outside an //simlint:outbox-transfer function (%s)",
+				short, use.fnDisplay)
+			continue
+		}
+		if w := writer[use.key]; use.appends && w.funcID != use.funcID {
+			pass.Reportf(use.pos,
+				"second writer for outbox %s: %s already appends (single-writer contract)",
+				short, w.fnDisplay)
+			continue
+		}
+		if !use.appends && use.workside {
+			pass.Reportf(use.pos,
+				"outbox %s touched in worker-reachable code: reads and drains must wait for the window barrier",
+				short)
+		}
+	}
+	return nil
+}
+
+// shortKey trims the module prefix off "pkg.Type.field" for messages.
+func shortKey(key string) string {
+	return strings.TrimPrefix(key, module+"/")
+}

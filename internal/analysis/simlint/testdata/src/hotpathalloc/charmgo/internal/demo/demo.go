@@ -25,15 +25,15 @@ func handle(s *state, n int) {
 	_ = m
 	p := new(point) // want `new on the hot path`
 	_ = p
-	s.fn = func() {} // want `closure allocation on the hot path`
+	s.fn = func() {}  // want `closure allocation on the hot path`
 	q := &point{x: n} // want `escaping composite literal on the hot path`
 	_ = q
 	lit := map[int]int{n: n} // want `map literal on the hot path`
 	_ = lit
 	sl := []int{n} // want `slice literal on the hot path`
 	_ = sl
-	s.table[n] = n // want `map assignment on the hot path`
-	s.buf = append(s.buf, n) // self-append reuses the backing array: clean
+	s.table[n] = n            // want `map assignment on the hot path`
+	s.buf = append(s.buf, n)  // self-append reuses the backing array: clean
 	grown := append(s.buf, n) // want `growing append on the hot path`
 	_ = grown
 }

@@ -1,0 +1,123 @@
+// cfgpaths covers the CFG constructs the builder gained edge support
+// for: goto (forward and backward), labeled and stacked break/continue,
+// and select entry semantics. Each leaking shape has a clean twin so the
+// fixtures pin both directions.
+package demo
+
+// gotoSkipsPut jumps over the release on the failure path.
+func gotoSkipsPut(fail bool) {
+	r := pool.Get() // want `pooled value r may leak`
+	if fail {
+		goto out
+	}
+	pool.Put(r)
+out:
+	sink(nil)
+}
+
+// gotoConvergesClean: both paths reach the release at the label.
+func gotoConvergesClean(fast bool) {
+	r := pool.Get()
+	if fast {
+		goto done
+	}
+	r.id++
+done:
+	pool.Put(r)
+}
+
+// gotoRetryClean: a hand-rolled backward-goto loop that always releases.
+func gotoRetryClean(tries int) {
+	r := pool.Get()
+retry:
+	tries--
+	if tries > 0 {
+		goto retry
+	}
+	pool.Put(r)
+}
+
+// labeledBreakSkipsPut: break outer jumps past the per-row release.
+func labeledBreakSkipsPut(rows [][]int) {
+	r := pool.Get() // want `pooled value r may leak`
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+		pool.Put(r)
+		return
+	}
+}
+
+// labeledBreakClean: every exit from the nest reaches the release.
+func labeledBreakClean(rows [][]int) {
+	r := pool.Get()
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	pool.Put(r)
+}
+
+// stackedLabelsClean: two labels stack on one loop. Only the inner one
+// may be broken to (spec: a break label must label the enclosing loop
+// directly), but the outer is a legal goto target that restarts the
+// whole scan; every exit still reaches the release.
+func stackedLabelsClean(rows [][]int) {
+	r := pool.Get()
+l1:
+l2:
+	for _, row := range rows {
+		for _, v := range row {
+			if v == 0 {
+				break l2
+			}
+			if v < 0 {
+				goto l1
+			}
+		}
+	}
+	pool.Put(r)
+}
+
+// labeledContinueSkipsPut: continue outer skips the per-iteration
+// release, dropping the record acquired that iteration.
+func labeledContinueSkipsPut(rows [][]int) {
+outer:
+	for _, row := range rows {
+		r := pool.Get() // want `pooled value r may leak`
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+		}
+		pool.Put(r)
+	}
+}
+
+// selectDropsOnOtherArm: the record transfers only on the send arm; the
+// done arm drops it.
+func selectDropsOnOtherArm(ch chan *rec, done chan struct{}) {
+	r := pool.Get() // want `pooled value r may leak`
+	select {
+	case ch <- r:
+	case <-done:
+	}
+}
+
+// selectBothArmsClean: every arm either transfers or releases.
+func selectBothArmsClean(ch chan *rec, done chan struct{}) {
+	r := pool.Get()
+	select {
+	case ch <- r:
+	case <-done:
+		pool.Put(r)
+	}
+}

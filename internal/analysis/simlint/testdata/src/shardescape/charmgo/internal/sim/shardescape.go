@@ -1,0 +1,142 @@
+// Package sim is the shardescape fixture: a miniature parallel-window
+// kernel (coordinator + shard + outbox) exercising the write-confinement
+// rule. Worker-side stores must land in the worker's owned region (the
+// points-to closure of the captured handles, cut at //simlint:shared
+// fields and interface cells) or in worker-allocated storage; everything
+// else must go through an //simlint:outbox-transfer function.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// crossEvent is one buffered cross-shard booking.
+type crossEvent struct {
+	at Time
+	fn func()
+}
+
+// Coord is the window coordinator: barrier-side state the workers must
+// never write directly.
+type Coord struct {
+	horizon Time
+	shards  []*Shard
+}
+
+// Shard is one worker's slice of the event population.
+type Shard struct {
+	co   *Coord //simlint:shared -- fixture: coordinator backref, ownership stops here
+	heap []crossEvent
+	out  [][]crossEvent //simlint:outbox -- fixture: per-destination buffers
+	work chan Time
+	done chan uint64
+}
+
+// stats is coordinator-side bookkeeping: global storage the worker
+// closure must not write.
+var stats struct {
+	fired uint64
+}
+
+// Source hides a pointer behind dynamic dispatch: the call is
+// unresolved, so the returned pointer is the unknown region.
+type Source interface{ ptr() *Time }
+
+// newKernel wires a coordinator with n shards and starts their workers.
+func newKernel(n int) *Coord {
+	co := &Coord{}
+	for i := 0; i < n; i++ {
+		sh := &Shard{
+			co:   co,
+			out:  make([][]crossEvent, n),
+			work: make(chan Time),
+			done: make(chan uint64),
+		}
+		co.shards = append(co.shards, sh)
+		start(sh)
+	}
+	return co
+}
+
+// book appends into the shard's own heap: owned, clean.
+func (s *Shard) book(at Time, fn func()) {
+	s.heap = append(s.heap, crossEvent{at: at, fn: fn})
+}
+
+// run fires local events up to the horizon. All stores stay inside the
+// owned region.
+func (s *Shard) run(h Time) uint64 {
+	var n uint64
+	for i := range s.heap {
+		if s.heap[i].at <= h && s.heap[i].fn != nil {
+			s.heap[i].fn()
+			n++
+		}
+	}
+	return n
+}
+
+// leak is worker-reachable (Shard method) and writes coordinator state
+// behind the //simlint:shared cut.
+func (s *Shard) leak(h Time) {
+	s.co.horizon = h // want `shard worker writes non-owned state`
+}
+
+// tallyFired is worker-reachable and writes global storage: non-owned.
+func (s *Shard) tallyFired(n uint64) {
+	stats.fired += n // want `shard worker writes non-owned state`
+}
+
+// poke stores through a pointer produced by dynamic dispatch: the target
+// escaped analysis, so confinement cannot be proven.
+func (s *Shard) poke(src Source) {
+	p := src.ptr()
+	*p = 9 // want `may write state that escaped analysis`
+}
+
+// Send is the audited hand-off verb: exempt from the worker-side scan,
+// so even its coordinator-adjacent writes pass.
+//
+//simlint:outbox-transfer -- fixture: sanctioned cross-shard hand-off
+func (s *Shard) Send(dst int, at Time, fn func()) {
+	s.out[dst] = append(s.out[dst], crossEvent{at: at, fn: fn})
+}
+
+// merge drains the outboxes at the barrier, coordinator-side.
+//
+//simlint:outbox-transfer -- fixture: barrier-side drain
+func (c *Coord) merge() {
+	for _, src := range c.shards {
+		for dst, box := range src.out {
+			for i := range box {
+				c.shards[dst].book(box[i].at, box[i].fn)
+				box[i] = crossEvent{}
+			}
+			src.out[dst] = box[:0]
+		}
+	}
+}
+
+// start spawns the annotated worker loop. The body's own stores are
+// checked too: the horizon write through the shared backref is flagged,
+// the worker-local accumulator and the owned-heap append are not.
+//
+//simlint:shard-worker -- fixture: canonical window worker
+func start(sh *Shard) {
+	work, done := sh.work, sh.done
+	//simlint:shard-worker -- fixture: worker loop
+	go func() {
+		var acc uint64
+		for {
+			h, ok := <-work
+			if !ok {
+				return
+			}
+			sh.book(h, nil)
+			acc = acc + sh.run(h)
+			sh.leak(h)
+			sh.tallyFired(acc)
+			sh.co.horizon = h // want `shard worker writes non-owned state`
+			done <- acc
+		}
+	}()
+}

@@ -1,0 +1,106 @@
+// Package sim is the singlewriter fixture: the cross-shard outbox
+// protocol. Every accessor of an //simlint:outbox field carries
+// //simlint:outbox-transfer; exactly one function appends (the single
+// writer); every other accessor stays off the worker side — reads and
+// drains belong to the barrier.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// crossEvent is one buffered cross-shard booking.
+type crossEvent struct {
+	at Time
+	fn func()
+}
+
+// Coord drains the outboxes between windows.
+type Coord struct {
+	shards []*Shard
+}
+
+// Shard is one worker's handle.
+type Shard struct {
+	co   *Coord         //simlint:shared -- fixture: coordinator backref
+	out  [][]crossEvent //simlint:outbox -- fixture: per-destination buffers
+	work chan Time
+	done chan uint64
+}
+
+// Send is the canonical single writer: annotated, appends. The RHS
+// mention of the field inside the append is part of the same appending
+// statement, not a separate access.
+//
+//simlint:outbox-transfer -- fixture: the sanctioned hand-off verb
+func (s *Shard) Send(dst int, at Time, fn func()) {
+	s.out[dst] = append(s.out[dst], crossEvent{at: at, fn: fn})
+}
+
+// SendDup is annotated but appends too: a second producer would race the
+// canonical writer inside a window.
+//
+//simlint:outbox-transfer -- fixture: a duplicate producer
+func (s *Shard) SendDup(dst int, at Time) {
+	s.out[dst] = append(s.out[dst], crossEvent{at: at}) // want `second writer for outbox internal/sim.Shard.out`
+}
+
+// peek is annotated and only reads — but it is a Shard method, so the
+// worker closure reaches it: outbox reads must wait for the barrier.
+//
+//simlint:outbox-transfer -- fixture: a worker-side read
+func (s *Shard) peek(dst int) int {
+	return len(s.out[dst]) // want `outbox internal/sim.Shard.out touched in worker-reachable code`
+}
+
+// rogue touches the outbox without the transfer annotation: outbox
+// traffic is an audited surface.
+func rogue(s *Shard, ev crossEvent) {
+	s.out[0] = append(s.out[0], ev) // want `outbox field internal/sim.Shard.out accessed outside an //simlint:outbox-transfer function`
+}
+
+// merge is the sanctioned barrier-side drain: annotated, reads and
+// truncates, and the coordinator is not in the worker closure.
+//
+//simlint:outbox-transfer -- fixture: barrier drain
+func (c *Coord) merge() {
+	for _, src := range c.shards {
+		for dst, box := range src.out {
+			for i := range box {
+				box[i] = crossEvent{}
+			}
+			src.out[dst] = box[:0]
+		}
+	}
+}
+
+// start spawns the annotated worker: the outbox is only reached through
+// Send, the audited verb.
+//
+//simlint:shard-worker -- fixture: window worker
+func start(sh *Shard) {
+	work, done := sh.work, sh.done
+	//simlint:shard-worker -- fixture: worker loop
+	go func() {
+		for {
+			h, ok := <-work
+			if !ok {
+				return
+			}
+			sh.Send(0, h, nil)
+			done <- 1
+		}
+	}()
+}
+
+// newKernel materializes a coordinator and shards; composite-literal
+// construction of the outbox is setup, not protocol traffic.
+func newKernel(n int) *Coord {
+	co := &Coord{}
+	for i := 0; i < n; i++ {
+		sh := &Shard{co: co, out: make([][]crossEvent, n),
+			work: make(chan Time), done: make(chan uint64)}
+		co.shards = append(co.shards, sh)
+		start(sh)
+	}
+	return co
+}

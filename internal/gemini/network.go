@@ -30,10 +30,19 @@ type Network struct {
 	// Slab-allocated state: one backing array each for nodes, NIC gap
 	// resources (FMA+BTE interleaved), engine views (4 per node), and
 	// torus links, instead of one heap object per resource.
+	//
+	// Shard-locality (DESIGN.md §6 "Shard-ownership rules"): under the
+	// parallel window's node partition, nodes/nicRes/engines/peNode are
+	// indexed by node and so booked only by the owning shard — a future
+	// shard-local booking path may write them without coordination. The
+	// cells below that cross the partition carry //simlint:shared.
 	nodes   []Node
 	nicRes  []sim.GapResource // 2 per node: [2i]=FMA, [2i+1]=BTE
 	engines []unitEngine      // 4 per node, indexed by 4*node+Unit
-	links   []sim.GapResource
+	// links is indexed by torus link, and a link's two endpoints may land
+	// in different shards, so link booking is the one NIC-model resource
+	// the parallel window cannot hand a single shard.
+	links []sim.GapResource //simlint:shared -- torus links cross the node partition: neighboring nodes may live in different shards, so parallel-window link booking stays coordinator-side until it gets its own discipline
 
 	// peNode caches NodeOf (pe → node) so the hot mapping is one slice
 	// load, not a division.
@@ -45,11 +54,11 @@ type Network struct {
 	// the paper's registration cache. Outer and inner levels populate
 	// lazily; nil means "not yet computed" (src == dst never books a
 	// path, so a cached route is always non-empty).
-	routes [][][]topology.LinkID
+	routes [][][]topology.LinkID //simlint:shared -- lazy fills are keyed by (src, dst) pairs that any shard may touch first; cache population must stay coordinator-side or become synchronized
 
 	// Statistics.
-	transfers uint64
-	bytes     int64
+	transfers uint64 //simlint:shared -- process-wide transfer count: shard-local booking would need atomic increments or per-shard tallies merged at the barrier
+	bytes     int64  //simlint:shared -- process-wide byte count: same merge-at-barrier obligation as transfers
 }
 
 // Node is one compute node and its NIC.

@@ -65,7 +65,7 @@ func (f *FreeList[T]) Get() *T {
 		f.free = f.free[:n-1]
 		return x
 	}
-	//simlint:allow hotpathalloc -- pool miss path: allocates only while the free list is empty; steady state recycles
+	//simlint:allow hotpathalloc -- pool miss path: allocates only while the free list is empty; steady state recycles (machine layers run coordinator-side; the only cross-shard cell here is the live counter, which is atomic)
 	return new(T)
 }
 

@@ -306,7 +306,7 @@ func (r *GapResource) node(s, e Time) *gnode {
 	if n != nil {
 		r.pool = n.l
 	} else {
-		//simlint:allow hotpathalloc -- treap node pool miss path: allocates only while the pool is empty; steady state recycles
+		//simlint:allow hotpathalloc -- treap node pool miss path: allocates only while the pool is empty; steady state recycles (the pool is per-GapResource, which is per-NIC and so shard-local in the parallel window)
 		n = &gnode{}
 	}
 	r.prioSeq++

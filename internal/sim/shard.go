@@ -140,6 +140,7 @@ func (se *ShardedEngine) Pending() int {
 }
 
 // Schedule runs fn after delay units of virtual time on the current shard.
+//
 //simlint:hotpath
 func (se *ShardedEngine) Schedule(delay Time, fn func()) *Event {
 	if delay < 0 {
@@ -149,6 +150,7 @@ func (se *ShardedEngine) Schedule(delay Time, fn func()) *Event {
 }
 
 // ScheduleArg is the closure-free Schedule form.
+//
 //simlint:hotpath
 func (se *ShardedEngine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
 	if delay < 0 {
@@ -160,24 +162,28 @@ func (se *ShardedEngine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
 // At runs fn at absolute time t on the current shard (the shard whose
 // event is executing, so self-rescheduling stays local). Which shard holds
 // an event never affects lockstep order — the shared counter does.
+//
 //simlint:hotpath
 func (se *ShardedEngine) At(t Time, fn func()) *Event {
 	return se.route(se.cur).At(se.check(t), fn)
 }
 
 // AtArg is the closure-free At form.
+//
 //simlint:hotpath
 func (se *ShardedEngine) AtArg(t Time, fn func(any), arg any) *Event {
 	return se.route(se.cur).AtArg(se.check(t), fn, arg)
 }
 
 // AtNode books fn at t into the heap of the shard owning node.
+//
 //simlint:hotpath
 func (se *ShardedEngine) AtNode(node int, t Time, fn func()) *Event {
 	return se.route(int(se.nodeShard[node])).At(se.check(t), fn)
 }
 
 // AtNodeArg is the closure-free AtNode form.
+//
 //simlint:hotpath
 func (se *ShardedEngine) AtNodeArg(node int, t Time, fn func(any), arg any) *Event {
 	return se.route(int(se.nodeShard[node])).AtArg(se.check(t), fn, arg)
@@ -343,10 +349,10 @@ type crossEvent struct {
 // local scheduling books straight into the shard's heap; cross-shard
 // sends buffer in single-writer outboxes merged at the window barrier.
 type Shard struct {
-	se   *ShardedEngine
+	se   *ShardedEngine //simlint:shared -- coordinator backref: Send reads immutable routing tables through it; worker ownership stops here
 	id   int
 	eng  *Engine
-	out  [][]crossEvent // per destination shard, appended only by this shard
+	out  [][]crossEvent //simlint:outbox -- per destination shard: Send is the single appender, mergeOutboxes drains at the window barrier
 	work chan Time
 	done chan uint64
 }
@@ -359,10 +365,12 @@ func (s *Shard) Now() Time { return s.eng.Now() }
 
 // At books a shard-local event. Safe inside a window: only this shard's
 // worker touches this heap.
+//
 //simlint:hotpath
 func (s *Shard) At(t Time, fn func()) *Event { return s.eng.At(t, fn) }
 
 // AtArg is the closure-free local form.
+//
 //simlint:hotpath
 func (s *Shard) AtArg(t Time, fn func(any), arg any) *Event { return s.eng.AtArg(t, fn, arg) }
 
@@ -373,7 +381,9 @@ func (s *Shard) AtArg(t Time, fn func(any), arg any) *Event { return s.eng.AtArg
 // beyond the window horizon, which any delay >= the configured lookahead
 // guarantees. Violations panic — a too-small delay would let results
 // depend on the shard count.
+//
 //simlint:hotpath
+//simlint:outbox-transfer -- the audited cross-shard hand-off verb: same-shard books directly, cross-shard buffers past the horizon (the panic above enforces the lookahead)
 func (s *Shard) Send(node int, t Time, fn func(any), arg any) {
 	dst := int(s.se.nodeShard[node])
 	if dst == s.id {
@@ -450,6 +460,8 @@ func (se *ShardedEngine) RunParallel() uint64 {
 // sequence) and sequence order is insertion order, so ties at equal
 // timestamps resolve by (source shard, emission index) — independent of
 // how the workers were scheduled onto OS threads.
+//
+//simlint:outbox-transfer -- barrier-side drain: runs on the coordinator between windows, after every worker has replied on done
 func (se *ShardedEngine) mergeOutboxes() {
 	for dst, dh := range se.handles {
 		for _, src := range se.handles {

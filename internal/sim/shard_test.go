@@ -159,9 +159,9 @@ func TestShardedProbeMatchesFlat(t *testing.T) {
 
 type probeFunc func(now Time, pending int)
 
-func (f probeFunc) EventFired(now Time, pending int)   { f(now, pending) }
-func (f probeFunc) Booking(Booked, Time, Time, Time)   {}
-func (f probeFunc) FaultNoted(FaultKind, Time)         {}
+func (f probeFunc) EventFired(now Time, pending int) { f(now, pending) }
+func (f probeFunc) Booking(Booked, Time, Time, Time) {}
+func (f probeFunc) FaultNoted(FaultKind, Time)       {}
 
 // haloCell is a node of the parallel-window test workload: a fixed-cadence
 // halo exchange on a ring where state flows through values, never times.
