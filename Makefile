@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint lint-audit lint-bench check fault-matrix shard-matrix bench-smoke bench-json profile alloc-gate
+.PHONY: build test test-race vet lint lint-audit lint-bench check fault-matrix shard-matrix bench-smoke bench-json profile profile-shard alloc-gate ns-gate
 
 build:
 	$(GO) build ./...
@@ -49,12 +49,17 @@ check: build vet lint test test-race
 fault-matrix:
 	$(GO) test -race -count=1 -run 'TestFault' ./internal/bench/
 
-# Shard-count matrix (DESIGN.md §2.3) under the race detector: the
+# Shard-count matrix (DESIGN.md §2.3–2.4) under the race detector: the
 # double-run determinism harness at kernel shards 1/2/4, the shard-count
-# invariance proofs (goldens, probed run, 50-seed faulted runs), and the
-# 108K-rank parallel-window workload against its lockstep oracle.
+# invariance proofs (goldens, probed run, 50-seed faulted runs), the
+# full-stack windowed-mode proofs (fig9a/fig13 goldens, probe stream, and
+# 50-seed faulted runs bit-identical to lockstep), the 108K- and
+# 1M-rank parallel-window halo workloads against their lockstep oracles,
+# and the network-level shard-partition properties (route-cache fill
+# hammer, 50-seed per-link occupancy parity, cross-traffic conservation).
 shard-matrix:
-	$(GO) test -race -count=1 -run 'TestShardMatrixDeterminism|TestShardCountInvariance|TestFaultedShardInvariance|TestWorkerCountInvariance|TestShardScale' ./internal/bench/
+	$(GO) test -race -count=1 -run 'TestShardMatrixDeterminism|TestShardCountInvariance|TestFaultedShardInvariance|TestWorkerCountInvariance|TestShardScale|TestWindowed' ./internal/bench/
+	$(GO) test -race -count=1 -run 'TestLinkOccupancyParity|TestLinkTrafficConservation|TestRouteFillRace' ./internal/gemini/
 
 # Quick microbenchmark pass over the kernel hot paths plus the end-to-end
 # fig9a wall-clock benchmark.
@@ -62,14 +67,23 @@ bench-smoke:
 	$(GO) test -run - -bench 'BenchmarkEngineScheduleFire|BenchmarkGapResourceAcquire' -benchtime 100000x ./internal/sim/
 	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 5x .
 
-# Full benchmark suite (figure wall-clock + sharded-kernel scaling +
-# kernel microbenchmarks) as JSON, with the recorded pre-optimization
-# baseline alongside. Each entry is the mean of 5 repeated runs with the
-# sample stddev recorded. The output file tracks both the allocation
-# discipline and the PR 6 shard-scaling work.
+# Full benchmark suite (figure wall-clock + sharded/windowed-kernel
+# scaling + kernel microbenchmarks) as JSON, with the recorded
+# pre-optimization baseline alongside. Each entry is the mean of 5
+# repeated runs with the sample stddev recorded. The output file tracks
+# the allocation discipline, the PR 6 shard-scaling work, and the PR 8
+# shard-local network model (windowed full-stack and shardscale entries);
+# the nsgate run afterwards fails the build if fig9a's fresh mean
+# regresses more than 3 recorded stddevs over the checked-in PR 6 level.
 bench-json:
-	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR6.json
-	@cat BENCH_PR6.json
+	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR8.json
+	$(GO) run ./cmd/benchharness -nsgate BENCH_PR6.json
+	@cat BENCH_PR8.json
+
+# Standalone wall-clock regression gate (also run by bench-json): fig9a
+# mean ns/op must stay within 3 recorded stddevs of the checked-in level.
+ns-gate:
+	$(GO) run ./cmd/benchharness -nsgate BENCH_PR6.json
 
 # CPU and allocation profiles of the end-to-end fig9a benchmark, written
 # to /tmp. Inspect with `go tool pprof -top /tmp/charmgo_cpu.prof` (or
@@ -78,6 +92,23 @@ profile:
 	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 100x \
 		-cpuprofile /tmp/charmgo_cpu.prof -memprofile /tmp/charmgo_mem.prof .
 	@echo "profiles written: /tmp/charmgo_cpu.prof /tmp/charmgo_mem.prof"
+
+# CPU and allocation profiles of the parallel-window shard-scaling
+# benchmark (108K-rank halo workload, worker-per-shard), written to /tmp.
+# How to read them:
+#   go tool pprof -top /tmp/charmgo_shard_cpu.prof          # hot functions
+#   go tool pprof -peek applyReservations /tmp/charmgo_shard_cpu.prof
+#   go tool pprof -sample_index=alloc_objects -top /tmp/charmgo_shard_mem.prof
+# Barrier cost shows up under ShardedEngine.RunParallel /
+# mergeOutboxes / Network.applyReservations; per-shard event work under
+# Engine.RunUntil. A healthy profile has the barrier functions in the
+# low single-digit percent — growth there means cross-shard traffic (or
+# flap replays) are defeating the shard-local booking fast path.
+profile-shard:
+	$(GO) test -run - -bench BenchmarkShardScale -benchtime 20x \
+		-cpuprofile /tmp/charmgo_shard_cpu.prof -memprofile /tmp/charmgo_shard_mem.prof \
+		./internal/bench/
+	@echo "profiles written: /tmp/charmgo_shard_cpu.prof /tmp/charmgo_shard_mem.prof"
 
 # CI allocation gate: fail if the fig9a wall-clock benchmark's allocs/op
 # regresses more than 10% over the checked-in threshold.

@@ -57,19 +57,24 @@ func TestShardCtxRealTree(t *testing.T) {
 	if c.workerFuncs["charmgo/internal/sim.(ShardedEngine).mergeOutboxes"] {
 		t.Error("mergeOutboxes must stay coordinator-side (not worker-reachable)")
 	}
-	// The gemini Network's cross-shard booking cells are annotated: the
-	// stepping stone to shard-local link booking (DESIGN.md §6). Pinning
-	// them here keeps the annotations from silently falling off the
-	// fields they document.
+	// The gemini Network's booking cells are shard-partitioned now
+	// (links by source-router ownership, routes by single-writer rows,
+	// transfers/bytes as per-shard tallies): the //simlint:shared
+	// stepping stones of the lockstep era must stay gone, and the one
+	// cell that still crosses the partition — the reservation outbox —
+	// must carry the outbox discipline instead.
 	for _, key := range []string{
 		"charmgo/internal/gemini.Network.links",
 		"charmgo/internal/gemini.Network.routes",
 		"charmgo/internal/gemini.Network.transfers",
 		"charmgo/internal/gemini.Network.bytes",
 	} {
-		if _, ok := c.sharedFields[key]; !ok {
-			t.Errorf("missing //simlint:shared annotation for %s", key)
+		if _, ok := c.sharedFields[key]; ok {
+			t.Errorf("stale //simlint:shared annotation on %s: the network model is shard-partitioned", key)
 		}
+	}
+	if _, ok := c.outboxFields["charmgo/internal/gemini.Network.resv"]; !ok {
+		t.Error("missing //simlint:outbox annotation on gemini.Network.resv")
 	}
 	// The owned region is the shard's private world: nonempty, but far
 	// below the whole-object population. Before the type-filtered cut it

@@ -144,14 +144,47 @@ func figShardedEntry(id string, shards int) *suiteEntry {
 	}
 }
 
+// figWindowedEntry measures one full-axis experiment regeneration per op
+// with the machine stack running single-threaded conservative windows at
+// the given kernel shard count: the full-stack window-protocol overhead
+// entry of BENCH_PR8.json (virtual-time results stay bit-identical to
+// lockstep — see TestWindowedGoldens).
+func figWindowedEntry(id string, shards int) *suiteEntry {
+	e, ok := Find(id)
+	if !ok {
+		panic("bench: " + id + " experiment missing")
+	}
+	return &suiteEntry{
+		name: fmt.Sprintf("%s_wallclock_windowed%d", id, shards),
+		fn: func(b *testing.B) {
+			prevN := charmgo.SetDefaultShards(shards)
+			prevM := charmgo.SetDefaultShardMode(charmgo.ShardWindowed)
+			defer func() {
+				charmgo.SetDefaultShards(prevN)
+				charmgo.SetDefaultShardMode(prevM)
+			}()
+			opts := Options{Quick: false, Seed: 1, Workers: shards}
+			for i := 0; i < b.N; i++ {
+				e.Run(opts)
+			}
+		},
+	}
+}
+
 // shardScaleEntry measures the fig13-shaped 100K+-rank halo workload on
 // the parallel-window kernel at the given shard count
 // (BenchmarkShardScale's suite twin; virtual-time results are identical
-// at every count).
-func shardScaleEntry(shards int) *suiteEntry {
-	cfg := ShardScaleConfig{Nodes: 1728, Steps: 4, Shards: shards, Parallel: true}
+// at every count). windowed selects the single-threaded window protocol
+// instead of the worker-per-shard one.
+func shardScaleEntry(shards int, windowed bool) *suiteEntry {
+	cfg := ShardScaleConfig{Nodes: 1728, Steps: 4, Shards: shards,
+		Parallel: !windowed, Windowed: windowed}
+	name := fmt.Sprintf("shardscale_shards%d", shards)
+	if windowed {
+		name += "_windowed"
+	}
 	return &suiteEntry{
-		name: fmt.Sprintf("shardscale_shards%d", shards),
+		name: name,
 		fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ShardScaleRun(cfg)
@@ -178,9 +211,11 @@ func RunBenchSuite() []BenchResult {
 		entries = append(entries, figShardedEntry("fig9a", shards))
 		entries = append(entries, figShardedEntry("fig13", shards))
 	}
+	entries = append(entries, figWindowedEntry("fig9a", 4))
 	for _, shards := range []int{1, 2, 4} {
-		entries = append(entries, shardScaleEntry(shards))
+		entries = append(entries, shardScaleEntry(shards, false))
 	}
+	entries = append(entries, shardScaleEntry(4, true))
 
 	entries = append(entries, &suiteEntry{name: "engine_schedule_fire", fn: func(b *testing.B) {
 		e := sim.NewEngine()
@@ -221,6 +256,22 @@ func RunBenchSuite() []BenchResult {
 	}})
 
 	return measureAll(entries)
+}
+
+// CheckNsGate runs the Figure 9(a) wall-clock benchmark and returns an
+// error if its mean ns/op exceeds the recorded mean by more than three
+// recorded standard deviations — the wall-clock twin of the allocation
+// gate. The reference comes from a checked-in BENCH_*.json artifact (see
+// Makefile bench-json), so the gate is calibrated to the recording
+// machine's own run-to-run noise rather than an arbitrary percentage.
+func CheckNsGate(mean, stddev float64) (BenchResult, error) {
+	r := Fig9aWallClock()
+	limit := mean + 3*stddev
+	if r.NsPerOp > limit {
+		return r, fmt.Errorf("fig9a ns/op = %.0f, above gate %.0f (recorded mean %.0f + 3×stddev %.0f)",
+			r.NsPerOp, limit, mean, stddev)
+	}
+	return r, nil
 }
 
 // CheckAllocGate runs the Figure 9(a) wall-clock benchmark and returns an

@@ -10,15 +10,24 @@ import (
 
 // This file is the tentpole's scale demonstration: a fig13-shaped workload
 // — mini-NAMD's communication skeleton, a 3D halo exchange with a fixed
-// per-step compute cost per rank — run directly on the parallel-window
-// sharded kernel at the paper's machine scale (100K+ simulated ranks,
-// beyond what the sequential PR 1 loop could sweep). It does not use the
-// full machine stack: the stack's shared link model serializes under the
-// lockstep kernel by design. Instead each node is one event stream on its
-// owning shard, cross-node halos travel via Shard.Send with the gemini
-// lookahead bound, and the result checksum is commutative, so the run is
-// bit-identical at every shard count while the shards execute windows
-// concurrently.
+// per-step compute cost per rank — run on the *real* gemini network model
+// over the parallel-window sharded kernel, at and beyond the paper's
+// machine scale (up to 1,000,000 simulated ranks). Every halo message
+// books the sender's FMA engine and its torus link through the network's
+// shard-partitioned state: intra-shard transfers book locally with zero
+// coordination (the slab partition owns every link of an intra-slab
+// route), cross-shard transfers ride the deferred-reservation path and
+// apply at the window barrier in deterministic (timestamp, shard,
+// emission) order. The checksum folds each halo's *arrival time* in with
+// its value, so a run only matches the lockstep oracle if the windowed
+// booking produced bit-identical link timings — not merely the same
+// payload values.
+
+// haloBytes is the per-direction halo payload: small enough that one
+// node's six sends serialize on its FMA engine well within the step
+// cadence (6 × (overhead + ser) ≈ 1.8 µs ≪ stepTime), so each message
+// record is in flight at most once per step.
+const haloBytes = 256
 
 // ShardScaleConfig sizes a ShardScaleRun.
 type ShardScaleConfig struct {
@@ -31,9 +40,11 @@ type ShardScaleConfig struct {
 	Steps int
 	// Shards partitions the torus; 1 runs the flat-equivalent lockstep.
 	Shards int
-	// Parallel runs conservative windows on worker goroutines; otherwise
-	// the lockstep merge executes sequentially (the determinism oracle).
+	// Parallel runs conservative windows on worker goroutines; Windowed
+	// runs the same window protocol single-threaded; with neither set the
+	// lockstep merge executes sequentially (the determinism oracle).
 	Parallel bool
+	Windowed bool
 }
 
 // ShardScaleResult summarizes a run for the harness and its tests.
@@ -41,6 +52,7 @@ type ShardScaleResult struct {
 	Nodes, Ranks, Shards int
 	Steps                int
 	Parallel             bool
+	Windowed             bool
 	Lookahead            sim.Time
 	End                  sim.Time
 	Fired                uint64
@@ -49,8 +61,11 @@ type ShardScaleResult struct {
 
 func (r ShardScaleResult) String() string {
 	mode := "lockstep"
-	if r.Parallel {
+	switch {
+	case r.Parallel:
 		mode = "parallel"
+	case r.Windowed:
+		mode = "windowed"
 	}
 	return fmt.Sprintf("shardscale: %d nodes / %d ranks, %d steps, %d shards (%s, L=%v): end=%v fired=%d checksum=%016x",
 		r.Nodes, r.Ranks, r.Steps, r.Shards, mode, r.Lookahead, r.End, r.Fired, r.Checksum)
@@ -69,21 +84,28 @@ type scaleNode struct {
 	step     int
 }
 
-// haloMsg is one cross-node halo contribution. Records are preallocated
-// per (node, direction): each is in flight at most once per step.
+// haloMsg is one cross-node halo contribution in flight on the network.
+// Records are preallocated per (node, direction): each is in flight at
+// most once per step (haloBytes keeps the wire time far below the step
+// cadence). val is written by the sending node's shard, at by the
+// completion callback (the same shard intra-shard; the coordinator at
+// the barrier cross-shard), and both are read by the destination shard
+// strictly after — the window protocol's channel hand-offs order every
+// pair.
 type haloMsg struct {
 	w   *scaleWorld
 	dst int
 	val uint64
+	at  sim.Time
 }
 
 type scaleWorld struct {
 	cfg      ShardScaleConfig
+	net      *gemini.Network
 	handles  []*sim.Shard // handle of each node's owning shard
 	nodes    []scaleNode
 	msgs     []haloMsg // 6 per node, indexed node*6+dir
 	stepTime sim.Time
-	sendLag  sim.Time
 }
 
 // xorshift is the per-rank work kernel: cheap, stateful, order-sensitive
@@ -97,8 +119,9 @@ func xorshift(x uint64) uint64 {
 }
 
 // nodeStep advances one node by one timestep: per-rank compute, then halo
-// sends to the six torus neighbors, landing sendLag later — at least the
-// kernel lookahead, as a real halo message would after injection + hops.
+// sends to the six torus neighbors, each booked through the network's
+// FMA engine and torus links (single-hop routes: the eager identity slab,
+// no per-pair route rows even at a million ranks).
 func nodeStep(arg any) {
 	n := arg.(*scaleNode)
 	w := n.w
@@ -119,15 +142,27 @@ func nodeStep(arg any) {
 		for d := range n.neighbor {
 			m := &w.msgs[n.id*6+d]
 			m.val = n.rng ^ uint64(d)
-			sh.Send(m.dst, now+w.sendLag, deliverHalo, m)
+			w.net.TransferThen(n.id, m.dst, haloBytes, gemini.UnitFMA, now, haloArrived, m)
 		}
 	}
 }
 
-// deliverHalo lands one halo contribution on the destination node's shard.
+// haloArrived is the network completion callback: intra-shard transfers
+// deliver it synchronously on the owning shard, cross-shard transfers at
+// the window barrier (where Send books straight into the destination
+// heap — the coordinator's goroutine is the only one running).
+func haloArrived(arg any, arrive sim.Time) {
+	m := arg.(*haloMsg)
+	m.at = arrive
+	m.w.handles[m.dst].Send(m.dst, arrive, deliverHalo, m)
+}
+
+// deliverHalo lands one halo contribution on the destination node's
+// shard, folding the wire-level arrival time in with the payload so the
+// checksum certifies the network timings, not just the values.
 func deliverHalo(arg any) {
 	m := arg.(*haloMsg)
-	m.w.nodes[m.dst].inbox += m.val
+	m.w.nodes[m.dst].inbox += m.val ^ uint64(m.at)
 }
 
 // ShardScaleRun executes the workload and reports the commutative result.
@@ -144,13 +179,15 @@ func ShardScaleRun(cfg ShardScaleConfig) ShardScaleResult {
 	la := params.ShardLookahead(part.MinCrossHops())
 
 	se := sim.NewParallelEngine(part.Shards, part.NodeShard(), la)
+	net := gemini.NewNetwork(se, cfg.Nodes, params)
+	defer net.Close()
 	w := &scaleWorld{
 		cfg:      cfg,
+		net:      net,
 		handles:  make([]*sim.Shard, cfg.Nodes),
 		nodes:    make([]scaleNode, cfg.Nodes),
 		msgs:     make([]haloMsg, cfg.Nodes*6),
 		stepTime: 10 * sim.Microsecond,
-		sendLag:  la + sim.Microsecond,
 	}
 	for i := range w.handles {
 		w.handles[i] = se.ShardHandle(part.ShardOf(i))
@@ -173,9 +210,12 @@ func ShardScaleRun(cfg ShardScaleConfig) ShardScaleResult {
 	}
 
 	var fired uint64
-	if cfg.Parallel {
+	switch {
+	case cfg.Parallel:
 		fired = se.RunParallel()
-	} else {
+	case cfg.Windowed:
+		fired = se.RunWindowed()
+	default:
 		fired = se.Run()
 	}
 
@@ -185,7 +225,8 @@ func ShardScaleRun(cfg ShardScaleConfig) ShardScaleResult {
 	}
 	return ShardScaleResult{
 		Nodes: cfg.Nodes, Ranks: cfg.Nodes * cfg.RanksPerNode,
-		Shards: cfg.Shards, Steps: cfg.Steps, Parallel: cfg.Parallel,
+		Shards: cfg.Shards, Steps: cfg.Steps,
+		Parallel: cfg.Parallel, Windowed: cfg.Windowed,
 		Lookahead: la, End: se.Now(), Fired: fired, Checksum: sum,
 	}
 }

@@ -7,22 +7,51 @@ import (
 	"charmgo/internal/sim"
 )
 
-// TestShardScaleInvariant runs the halo workload lockstep and parallel at
-// shards 1, 2, 4: every mode must produce the same end time, event count,
-// and checksum as the flat-equivalent sequential run.
+// TestShardScaleInvariant runs the halo workload lockstep, windowed, and
+// parallel at shards 1, 2, 4: every mode must produce the same end time,
+// event count, and checksum as the flat-equivalent sequential run. The
+// checksum folds wire-level arrival times, so this certifies the
+// shard-local link bookings and the barrier-applied cross-shard
+// reservations reproduce the oracle's network timings exactly.
 func TestShardScaleInvariant(t *testing.T) {
 	base := ShardScaleRun(ShardScaleConfig{Nodes: 64, Steps: 6, Shards: 1})
 	if base.Checksum == 0 || base.Fired == 0 {
 		t.Fatalf("degenerate base run: %v", base)
 	}
 	for _, shards := range []int{1, 2, 4} {
-		for _, parallel := range []bool{false, true} {
-			r := ShardScaleRun(ShardScaleConfig{Nodes: 64, Steps: 6, Shards: shards, Parallel: parallel})
+		for _, mode := range []struct{ parallel, windowed bool }{
+			{false, false}, {false, true}, {true, false},
+		} {
+			r := ShardScaleRun(ShardScaleConfig{Nodes: 64, Steps: 6, Shards: shards,
+				Parallel: mode.parallel, Windowed: mode.windowed})
 			if r.Checksum != base.Checksum || r.Fired != base.Fired || r.End != base.End {
-				t.Errorf("shards=%d parallel=%v diverged:\n%v\nvs\n%v", shards, parallel, r, base)
+				t.Errorf("shards=%d parallel=%v windowed=%v diverged:\n%v\nvs\n%v",
+					shards, mode.parallel, mode.windowed, r, base)
 			}
 		}
 	}
+}
+
+// TestShardScaleMillion pushes the halo workload to a million simulated
+// ranks (35³ = 42,875 XE6 nodes × 24) on the real network model: the
+// parallel-window kernel must complete and match the lockstep oracle
+// bit-for-bit, arrival timings included. Short mode keeps the shape but
+// shrinks the box.
+func TestShardScaleMillion(t *testing.T) {
+	nodes, steps := 42_875, 3
+	if testing.Short() {
+		nodes, steps = 1728, 2
+	}
+	par := ShardScaleRun(ShardScaleConfig{Nodes: nodes, Steps: steps, Shards: 4, Parallel: true})
+	if !testing.Short() && par.Ranks < 1_000_000 {
+		t.Fatalf("only %d ranks simulated, want >= 1000000", par.Ranks)
+	}
+	lock := ShardScaleRun(ShardScaleConfig{Nodes: nodes, Steps: steps, Shards: 4})
+	if par.Checksum != lock.Checksum || par.Fired != lock.Fired || par.End != lock.End {
+		t.Fatalf("parallel diverged from lockstep oracle at %d ranks:\n%v\nvs\n%v",
+			par.Ranks, par, lock)
+	}
+	t.Logf("%v", par)
 }
 
 // TestShardScalePaperScale is the tentpole's scale gate: a fig13-shaped

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"charmgo"
+	"charmgo/internal/fault"
+	"charmgo/internal/sim"
+)
+
+// This file is the windowed half of the sharded-kernel contract: the full
+// machine stack — converse scheduler, uGNI/MPI machine layers, the
+// shard-partitioned network model — must produce bit-identical results
+// when the kernel executes conservative lookahead windows instead of the
+// lockstep merge (DESIGN.md §2.4). Cross-shard transfers book through the
+// deferred-reservation path and apply at the window barrier; these tests
+// prove that path reproduces the oracle's timings exactly.
+
+// withMode runs fn with the package-default shard count forced to n and
+// the package-default shard execution mode forced to m, restoring both.
+func withMode(n int, m charmgo.ShardMode, fn func()) {
+	prevN := charmgo.SetDefaultShards(n)
+	prevM := charmgo.SetDefaultShardMode(m)
+	defer func() {
+		charmgo.SetDefaultShards(prevN)
+		charmgo.SetDefaultShardMode(prevM)
+	}()
+	fn()
+}
+
+// TestWindowedGoldens renders fig9a and fig13 under single-threaded
+// conservative windows at shards 1, 2, 4 and requires byte-identical
+// output versus the flat lockstep base: the machine stack's SMSG, RDMA,
+// rendezvous, and credit paths must survive deferred cross-shard booking.
+func TestWindowedGoldens(t *testing.T) {
+	o := Options{Quick: true}
+	for _, id := range []string{"fig9a", "fig13"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %q not found", id)
+		}
+		var base string
+		withShards(1, func() { base = RenderTables(e.Run(o)) })
+		if base == "" {
+			t.Fatalf("%s rendered empty at shards=1", id)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			var got string
+			withMode(shards, charmgo.ShardWindowed, func() { got = RenderTables(e.Run(o)) })
+			if got != base {
+				t.Errorf("%s differs windowed at shards=%d:\n--- lockstep\n%s--- windowed shards=%d\n%s",
+					id, shards, base, shards, got)
+			}
+		}
+	}
+}
+
+// TestWindowedProbe runs the probed AMPI workload under windowed execution
+// at shards 1, 2, 4: the full kernel-statistics stream — event counts,
+// peak pending, booking totals — must match the lockstep run, so windows
+// may not even reorder which bookings a probe observes.
+func TestWindowedProbe(t *testing.T) {
+	var base string
+	withShards(1, func() { base = KernelProbeRun() })
+	for _, shards := range []int{1, 2, 4} {
+		var got string
+		withMode(shards, charmgo.ShardWindowed, func() { got = KernelProbeRun() })
+		if got != base {
+			t.Errorf("kernel probe run differs windowed at shards=%d:\n--- lockstep\n%s--- windowed shards=%d\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
+// TestWindowedFaultedInvariance draws the same 50 seeded random fault
+// schedules as TestFaultedShardInvariance and requires the faulted
+// workload's canonical rendering to be byte-identical under windowed
+// execution at shards 1, 2, 4: fault injection (including FlapLink's
+// deferred-path bookings) must not perturb the window protocol.
+func TestWindowedFaultedInvariance(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	cfg := fault.Random{
+		PEs: faultPEs, Links: 8, Horizon: faultHorizon, Ops: 6,
+		MaxWindow: faultHorizon / 3,
+	}
+	var stressed int
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		s := fault.RandomSchedule(seed, cfg)
+		var base faultResult
+		withShards(1, func() { base, _ = runFaultWorkload(nil, nil, s) })
+		if base.faults != ([sim.NumFaultKinds]uint64{}) {
+			stressed++
+		}
+		for _, shards := range []int{2, 4} {
+			var got faultResult
+			withMode(shards, charmgo.ShardWindowed, func() { got, _ = runFaultWorkload(nil, nil, s) })
+			if got.render != base.render {
+				t.Fatalf("seed %d windowed shards=%d faulted render differs:\n--- lockstep\n%s--- windowed shards=%d\n%s\nschedule:\n%s",
+					seed, shards, base.render, shards, got.render, s)
+			}
+		}
+	}
+	if stressed == 0 {
+		t.Fatal("no random schedule produced a fault observation; the invariance test is vacuous")
+	}
+	t.Logf("%d/%d schedules exercised fault paths identically under windowed execution", stressed, seeds)
+}

@@ -39,6 +39,32 @@ func (tb *Table) Hops(a, b int) int {
 		torusDist(int(ac[2]), int(bc[2]), tb.Z)
 }
 
+// NeighborLink reports the dense index of the single link a
+// dimension-ordered route uses between an adjacent pair — the entire
+// route of a one-hop (src, dst). It agrees exactly with AppendLinkIDs,
+// including the wrap tie-break on size-2 rings (where both directions
+// are one hop and torusStep prefers +1). The caller must have
+// established Hops(src, dst) == 1; the route cache uses this to resolve
+// neighbor routes against a precomputed identity table instead of
+// filling per-pair cache rows, which keeps single-hop booking both
+// allocation-free and write-free in every run mode.
+func (tb *Table) NeighborLink(src, dst int) LinkID {
+	ac, bc := tb.xyz[src], tb.xyz[dst]
+	dims := tb.Dims()
+	for dim := 0; dim < NumDims; dim++ {
+		a, b := int(ac[dim]), int(bc[dim])
+		if a == b {
+			continue
+		}
+		d := 0 // -1 direction
+		if wrap(b-a, dims[dim]) == 1 {
+			d = 1 // +1 direction, torusStep's tie winner
+		}
+		return LinkID((src*NumDims+dim)*2 + d)
+	}
+	panic("topology: NeighborLink on a non-adjacent pair")
+}
+
 // AppendLinkIDs appends the dense link indices of the dimension-ordered
 // path from a to b (the same path AppendPath enumerates) to buf and
 // returns it. Built once per (src, dst) pair by the network's route cache,

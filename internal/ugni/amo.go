@@ -59,6 +59,58 @@ func (g *GNI) AMORead(node, addr int) int64 {
 	return g.amoRegs[amoKey{node, addr}]
 }
 
+// amoFlight carries one posted AMO from the wire request through the
+// register application at the target NIC: the network's completion
+// callback (amoArrived) schedules amoApply on the target node's shard at
+// the request's arrival, which is where the atomic read-modify-write and
+// the response push happen. Pooled on the owning GNI (g.amoFlights);
+// released when amoApply finishes.
+type amoFlight struct {
+	g     *GNI
+	d     *AMODesc
+	rNode int
+	at    sim.Time // request arrival at the target NIC
+}
+
+// amoArrived is the network completion callback for the AMO request wire
+// transfer (synchronous intra-shard, barrier-deferred across the
+// partition).
+func amoArrived(arg any, reqArrive sim.Time) {
+	fl := arg.(*amoFlight)
+	fl.at = reqArrive
+	// The register lives at the remote NIC: apply on its node's shard.
+	fl.g.Net.Eng.AtNodeArg(fl.rNode, reqArrive, amoApply, fl)
+}
+
+// amoApply executes the atomic at the target NIC in arrival order and
+// sends the old value back to the initiator's CQ one control flight
+// later. The response push crosses shards legally without deferral: the
+// control latency back to the initiator is at least the kernel lookahead
+// whenever the pair spans the partition.
+func amoApply(arg any) {
+	fl := arg.(*amoFlight)
+	g, d := fl.g, fl.d
+	key := amoKey{fl.rNode, d.Addr}
+	old := g.amoRegs[key]
+	switch d.Kind {
+	case AMOFetchAdd:
+		g.amoRegs[key] = old + d.Delta
+	case AMOCompareSwap:
+		if old == d.Compare {
+			g.amoRegs[key] = d.Delta
+		}
+	default:
+		panic(fmt.Sprintf("ugni: unknown AMO kind %d", d.Kind))
+	}
+	back := g.Net.ControlLatency(fl.rNode, g.Net.NodeOf(d.Initiator))
+	d.LocalCQ.push(fl.at+back+g.Net.P.CQLatency, Event{
+		Type: EvAmoDone, Src: d.Remote, Dst: d.Initiator,
+		Size: amoWireBytes, AmoOld: old, Payload: d.UserData,
+	})
+	*fl = amoFlight{}
+	g.amoFlights.Put(fl)
+}
+
 // PostAMO posts an atomic transaction on the FMA unit and returns the host
 // CPU cost. The operation applies at the target NIC when the request
 // arrives; the old value lands in LocalCQ one flight later.
@@ -71,26 +123,8 @@ func (g *GNI) PostAMO(d *AMODesc, at sim.Time) sim.Time {
 	}
 	iNode := g.Net.NodeOf(d.Initiator)
 	rNode := g.Net.NodeOf(d.Remote)
-	_, reqArrive := g.Net.Transfer(iNode, rNode, amoWireBytes, gemini.UnitFMA, at)
-	back := g.Net.ControlLatency(rNode, iNode)
-	key := amoKey{rNode, d.Addr}
-	// The register lives at the remote NIC: apply on its node's shard.
-	g.Net.Eng.AtNode(rNode, reqArrive, func() {
-		old := g.amoRegs[key]
-		switch d.Kind {
-		case AMOFetchAdd:
-			g.amoRegs[key] = old + d.Delta
-		case AMOCompareSwap:
-			if old == d.Compare {
-				g.amoRegs[key] = d.Delta
-			}
-		default:
-			panic(fmt.Sprintf("ugni: unknown AMO kind %d", d.Kind))
-		}
-		d.LocalCQ.push(reqArrive+back+g.Net.P.CQLatency, Event{
-			Type: EvAmoDone, Src: d.Remote, Dst: d.Initiator,
-			Size: amoWireBytes, AmoOld: old, Payload: d.UserData,
-		})
-	})
+	fl := g.amoFlights.Get()
+	fl.g, fl.d, fl.rNode = g, d, rNode
+	g.Net.TransferThen(iNode, rNode, amoWireBytes, gemini.UnitFMA, at, amoArrived, fl)
 	return g.Net.P.HostPostCPU
 }

@@ -17,7 +17,9 @@ func newGNIParams(nodes int, p gemini.Params) (*GNI, *sim.Engine) {
 
 // TestSmsgCreditWindowNotDone pins the finite mailbox window: the
 // SMSGCreditSlots-th+1 concurrent send on one connection is refused with
-// RC_NOT_DONE, and a receive-side dequeue reopens the window.
+// RC_NOT_DONE, and a receive-side dequeue reopens the window once the
+// credit's control packet flies back to the sender's NIC (internode
+// credits land one ControlLatency after the dequeue; see smsgConsumed).
 func TestSmsgCreditWindowNotDone(t *testing.T) {
 	g, eng := newGNI(4)
 	rx := g.CqCreate("rx")
@@ -40,13 +42,17 @@ func TestSmsgCreditWindowNotDone(t *testing.T) {
 		t.Fatalf("CreditsInFlight = %d, want %d", got, slots)
 	}
 	eng.Run()
-	// Polled mode: GetEvent is the receive-side dequeue that returns the
-	// mailbox credit.
+	// Polled mode: GetEvent is the receive-side dequeue that launches the
+	// credit's control packet back to the sender.
 	if _, ok := rx.GetEvent(); !ok {
 		t.Fatal("no event delivered")
 	}
+	if _, rc, err := g.SmsgSendWTag(0, dst, 100, 64, nil, eng.Now(), nil); err != nil || rc != RCNotDone {
+		t.Fatalf("instant post-dequeue send: rc=%v err=%v, want RC_NOT_DONE (credit still in flight)", rc, err)
+	}
+	eng.Run() // fly the credit return home
 	if _, rc, err := g.SmsgSendWTag(0, dst, 100, 64, nil, eng.Now(), nil); err != nil || rc != RCSuccess {
-		t.Fatalf("post-dequeue send: rc=%v err=%v, want RC_SUCCESS", rc, err)
+		t.Fatalf("post-flight send: rc=%v err=%v, want RC_SUCCESS", rc, err)
 	}
 	for {
 		if _, ok := rx.GetEvent(); !ok {
@@ -59,6 +65,7 @@ func TestSmsgCreditWindowNotDone(t *testing.T) {
 			break
 		}
 	}
+	eng.Run() // fly the last dequeue's credit return
 	if got := g.CreditsInFlight(); got != 0 {
 		t.Fatalf("CreditsInFlight after drain = %d, want 0", got)
 	}

@@ -44,9 +44,16 @@ type GNI struct {
 
 	// cqNodes pools in-flight CQ deliveries; descs pools post descriptors
 	// for callers that follow the acquire/release contract (NewPostDesc /
-	// ReleasePostDesc). See DESIGN.md §2.2.
-	cqNodes mem.FreeList[cqNode]
-	descs   mem.FreeList[PostDesc]
+	// ReleasePostDesc). See DESIGN.md §2.2. flights and amoFlights pool the
+	// completion records a cross-shard transfer carries through the
+	// network's deferred-reservation path (DESIGN.md §2.4): acquired at
+	// send time, released when the window barrier (or the synchronous
+	// inline path) delivers the arrival.
+	cqNodes       mem.FreeList[cqNode]
+	descs         mem.FreeList[PostDesc]
+	flights       mem.FreeList[cqFlight]
+	amoFlights    mem.FreeList[amoFlight]
+	creditFlights mem.FreeList[creditFlight]
 
 	registeredBytes int64
 	registrations   uint64
@@ -191,10 +198,59 @@ func (g *GNI) conn(src, dst int) *smsgConn {
 }
 
 // smsgConsumed returns one credit on the src→dst window: the receive side
-// dequeued a message, freeing its mailbox slot. If the sender starved while
-// the window was full, one EvCreditReturn notification is delivered to the
-// sender's SMSG receive CQ after the control packet flies back.
+// dequeued a message, freeing its mailbox slot. Intra-node the window
+// reopens immediately; internode the credit rides a control packet back to
+// the sender's NIC, so the decrement lands one ControlLatency later — as
+// an event on the *sender's* node. That flight keeps every mutation of an
+// outbound credit window on the shard that owns the sender (the receive
+// side only launches the packet), which is what lets conservative windows
+// reproduce the lockstep credit protocol exactly: the control latency is
+// never shorter than the shard lookahead, so the booking always lands at
+// or beyond the current window's barrier. If the sender starved while the
+// window was full, one EvCreditReturn notification is delivered to its
+// SMSG receive CQ when the credit lands.
 func (g *GNI) smsgConsumed(src, dst int, now sim.Time) {
+	srcNode := g.Net.NodeOf(src)
+	dstNode := g.Net.NodeOf(dst)
+	if srcNode == dstNode {
+		c := g.conns[connKey(src, dst)]
+		if c == nil {
+			return
+		}
+		c.inflight--
+		g.creditsInFlight--
+		g.creditReturns++
+		if c.starved && c.inflight < c.limit {
+			c.starved = false
+			g.notifyCreditReturn(src, dst, now)
+		}
+		return
+	}
+	fl := g.creditFlights.Get()
+	fl.g, fl.src, fl.dst = g, int32(src), int32(dst)
+	fl.at = now + g.Net.ControlLatency(dstNode, srcNode)
+	g.Net.Eng.AtNodeArg(srcNode, fl.at, creditBack, fl)
+}
+
+// creditFlight carries one internode credit return through the engine:
+// the control packet from the consuming receiver back to the sender's NIC.
+type creditFlight struct {
+	g        *GNI
+	at       sim.Time
+	src, dst int32
+}
+
+// creditBack lands an internode credit return on the sender's node: the
+// window decrement and, if the sender starved, the EvCreditReturn wake-up
+// (the control packet already flew, so only the CQ hop remains — the same
+// total latency the starved path always paid).
+//
+//simlint:hotpath
+func creditBack(arg any) {
+	fl := arg.(*creditFlight)
+	g, src, dst, at := fl.g, int(fl.src), int(fl.dst), fl.at
+	*fl = creditFlight{}
+	g.creditFlights.Put(fl)
 	c := g.conns[connKey(src, dst)]
 	if c == nil {
 		return
@@ -204,7 +260,11 @@ func (g *GNI) smsgConsumed(src, dst int, now sim.Time) {
 	g.creditReturns++
 	if c.starved && c.inflight < c.limit {
 		c.starved = false
-		g.notifyCreditReturn(src, dst, now)
+		if cq := g.rxCQ[src]; cq != nil {
+			cq.push(at+g.Net.P.CQLatency, Event{
+				Type: EvCreditReturn, Src: src, Dst: dst, nocredit: true,
+			})
+		}
 	}
 }
 
@@ -333,11 +393,15 @@ func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at si
 	c.inflight++
 	g.creditsInFlight++
 	// Book through the node's SMSG NIC engine (FMA hardware, mailbox
-	// protocol overhead).
-	srcDone, arrive := g.Net.Engine(g.Net.NodeOf(src), gemini.UnitSMSG).Transfer(g.Net.NodeOf(dst), size, at)
-	rx.push(arrive+g.Net.P.CQLatency, Event{
-		Type: EvSmsg, Src: src, Dst: dst, Tag: tag, Size: size, Payload: payload,
-	})
+	// protocol overhead). The arrival rides a flight record: an intra-shard
+	// transfer delivers it synchronously right here (the same push order as
+	// ever), a cross-partition transfer inside a window delivers it at the
+	// barrier. The source-side completion is always synchronous — the
+	// sending engine is shard-local.
+	fl := g.flights.Get()
+	fl.g, fl.remote = g, rx
+	fl.ev = Event{Type: EvSmsg, Src: src, Dst: dst, Tag: tag, Size: size, Payload: payload}
+	srcDone := g.Net.TransferThen(g.Net.NodeOf(src), g.Net.NodeOf(dst), size, gemini.UnitSMSG, at, flightArrived, fl)
 	if txCQ != nil {
 		txCQ.push(srcDone+g.Net.P.CQLatency, Event{
 			Type: EvTxDone, Src: src, Dst: dst, Tag: tag, Size: size,
@@ -421,6 +485,32 @@ func (g *GNI) post(d *PostDesc, unit gemini.Unit, at sim.Time) sim.Time {
 	}
 	iNode := g.Net.NodeOf(d.Initiator)
 	rNode := g.Net.NodeOf(d.Remote)
+	if g.Net.WillDefer(iNode, rNode) {
+		// Cross-partition post inside a conservative window: the remote
+		// arrival is not knowable until the barrier books the path, so the
+		// arrival-side events ride a flight record through the network's
+		// deferred-reservation path. A PUT's local completion (source buffer
+		// free) is the engine-side time, which is shard-local and known now.
+		fl := g.flights.Get()
+		fl.g, fl.remote = g, d.RemoteCQ
+		fl.ev = Event{Type: EvRdmaRemote, Src: d.Initiator, Dst: d.Remote, Tag: d.Tag,
+			Size: d.Size, Payload: d.Payload, Desc: d}
+		switch d.Kind {
+		case PostPut:
+			srcDone := g.Net.TransferThen(iNode, rNode, d.Size, unit, at, flightArrived, fl)
+			if d.LocalCQ != nil {
+				lev := fl.ev
+				lev.Type = EvRdmaLocal
+				d.LocalCQ.push(srcDone+g.Net.P.CQLatency, lev)
+			}
+		case PostGet:
+			fl.local = d.LocalCQ
+			g.Net.GetThen(iNode, rNode, d.Size, unit, at, flightArrived, fl)
+		default:
+			panic("ugni: unknown post kind")
+		}
+		return g.Net.P.HostPostCPU
+	}
 	var localDone, remoteDone sim.Time
 	switch d.Kind {
 	case PostPut:
