@@ -19,13 +19,16 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# simlint: all thirteen analyzers (internal/analysis/simlint) — the five
+# simlint: all seventeen analyzers (internal/analysis/simlint) — the five
 # determinism/kernel-discipline rules, the CFG/dataflow ownership rules
-# (poolleak, useafterrelease, hotpathalloc, closechain), and the
+# (poolleak, useafterrelease, hotpathalloc, closechain), the
 # points-to shard-ownership rules (shardescape, atomicshared,
-# singlewriter, windowsend). Zero findings and zero unexplained or unused
-# suppressions required; see DESIGN.md §6 "Determinism rules" /
-# "Ownership rules" / "Shard-ownership rules".
+# singlewriter, windowsend), and the typestate protocol rules
+# (creditbalance, flightlifecycle, eventtotality, boundedretry). Zero
+# findings and zero unexplained or unused suppressions required; see
+# DESIGN.md §6 "Determinism rules" / "Ownership rules" /
+# "Shard-ownership rules" / "Protocol typestate rules".
+# `go run ./cmd/simlint -rules` prints the full rule book.
 lint:
 	$(GO) run ./cmd/simlint ./...
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-json] [-audit] [-bench [-budget file]] [packages]
+//	go run ./cmd/simlint [-json] [-audit] [-rules] [-bench [-budget file]] [packages]
 //
 // With no arguments it analyzes ./.... Suppressions use
 // `//simlint:allow <analyzer> -- <reason>` on (or one line above) the
@@ -19,6 +19,11 @@
 // complete audit trail of accepted exceptions is one command away. With
 // -json the audit is emitted as {analyzer, file, line, col, reason}
 // objects. -audit exits nonzero only if a suppression lacks a reason.
+//
+// -rules skips analysis and prints every registered analyzer with its
+// one-line contract and, where the analyzer consumes `//simlint:`
+// annotations, the annotation grammar — the complete rule book in one
+// command. The output shape is golden-pinned like -json.
 //
 // -bench skips the findings report and instead times each analyzer over
 // the loaded packages, checking load and analysis wall-clock against the
@@ -40,9 +45,15 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings (or the -audit list) as JSON")
 	audit := flag.Bool("audit", false, "list every //simlint:allow suppression with its justification")
+	rules := flag.Bool("rules", false, "print every analyzer with its contract and annotation grammar")
 	bench := flag.Bool("bench", false, "time each analyzer and enforce the checked-in budget")
 	budgetPath := flag.String("budget", "", "budget file for -bench (default cmd/simlint/budget.json)")
 	flag.Parse()
+
+	if *rules {
+		os.Stdout.Write(renderRules(simlint.Analyzers()))
+		return
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"strings"
 
 	"charmgo/internal/analysis/framework"
 )
@@ -60,6 +62,28 @@ func renderAuditJSON(sups []framework.Suppression) ([]byte, error) {
 		})
 	}
 	return marshalLines(out)
+}
+
+// renderRules renders the registered analyzers in suite order with their
+// one-line contract and (when the analyzer consumes `//simlint:`
+// annotations) the annotation grammar, one indented line each. The shape
+// is a stable contract pinned by the golden test in render_test.go.
+func renderRules(analyzers []*framework.Analyzer) []byte {
+	var b strings.Builder
+	for i, a := range analyzers {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s\n", a.Name)
+		fmt.Fprintf(&b, "  %s\n", a.Doc)
+		if a.Grammar == "" {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(a.Grammar, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return []byte(b.String())
 }
 
 func marshalLines(v any) ([]byte, error) {

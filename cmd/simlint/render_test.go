@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"charmgo/internal/analysis/framework"
+	"charmgo/internal/analysis/simlint"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden JSON schema files")
@@ -61,6 +62,14 @@ func TestAuditJSONGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "audit.golden.json", got)
+}
+
+// TestRulesGolden pins the -rules output over the real registered suite:
+// analyzer order, each one-line contract, and the annotation grammar of
+// the annotation-driven analyzers. A new analyzer (or a reworded
+// contract) must show up as a golden diff in review.
+func TestRulesGolden(t *testing.T) {
+	checkGolden(t, "rules.golden.txt", renderRules(simlint.Analyzers()))
 }
 
 func checkGolden(t *testing.T, name string, got []byte) {

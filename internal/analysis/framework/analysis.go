@@ -22,11 +22,14 @@ import (
 
 // Analyzer describes one static check. Name appears in diagnostics and in
 // `//simlint:allow <name>` suppression directives; Doc is the one-paragraph
-// contract shown by `simlint -help`.
+// contract shown by `simlint -help`. Grammar, when non-empty, lists the
+// `//simlint:` annotation forms the analyzer consumes, one per line, for
+// `simlint -rules`.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name    string
+	Doc     string
+	Grammar string
+	Run     func(*Pass) error
 }
 
 // Pass carries one (analyzer, package) unit of work. Files holds the parsed

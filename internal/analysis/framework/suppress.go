@@ -23,6 +23,10 @@ import (
 //	                                         enforced by atomicshared)
 //	//simlint:outbox -- <reason>             struct-field comment: a cross-shard outbox slot
 //	                                         (singlewriter enforces one writer + barrier reads)
+//	//simlint:proto <protocol> <role> ...    doc/field/const comment: binds the declaration to
+//	                                         a protoflow typestate protocol (credit, flight,
+//	                                         event, retry) — the full grammar is printed by
+//	                                         `simlint -rules` and documented in DESIGN.md §6
 //
 // An allow directive covers findings of the named analyzer on its own line
 // (trailing comment) or on the line immediately below (comment above the
@@ -107,6 +111,18 @@ func Suppressions(pkgs []*Package) []Suppression {
 						Verb:     d.Verb,
 						Analyzer: "shardsafe",
 						Reason:   strings.TrimSpace(reason),
+					})
+				case "proto":
+					// Protocol typestate bindings: each names the declaration's
+					// role in a protoflow machine. The binding itself is the
+					// audit record — the args name protocol and role — so a
+					// bare //simlint:proto is the only malformed (empty-reason)
+					// form.
+					out = append(out, Suppression{
+						Pos:      d.Pos,
+						Verb:     d.Verb,
+						Analyzer: "protoflow",
+						Reason:   d.Args,
 					})
 				}
 			}

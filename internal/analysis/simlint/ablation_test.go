@@ -21,9 +21,14 @@ import (
 // design forbids: a worker-loop store through the coordinator's shared
 // sequence counter, a dropped atomic on the live-descriptor counter, a
 // second outbox producer, and a direct past-window send through the
-// coordinator. The last two rows automate PR 4's manual ablation on the
+// coordinator. The next two rows automate PR 4's manual ablation on the
 // shipped machine layer: deleting a single descriptor Put, and deleting
-// a slab release from Layer.Close.
+// a slab release from Layer.Close. The last three rows seed the protocol
+// defects the protoflow typestate family proves absent: severing the
+// credit drain from its EvCreditReturn dispatch, dropping the
+// credit-flight Put so the completion callback leaves the record zeroed
+// but unretired, and deleting the MaxRetries guard so the
+// transaction-error handler re-posts a failing descriptor forever.
 
 type edit struct {
 	old, new string
@@ -93,6 +98,36 @@ func ablationRows() []ablationRow {
 				new: "",
 			}},
 			analyzer: "closechain",
+		},
+		{
+			name: "deleted credit drain after the EvCreditReturn dispatch",
+			file: "internal/machine/ugnimachine/layer.go",
+			edits: []edit{{
+				old: "\t\tl.drainPending(pe, ev)\n",
+				new: "\t\t_ = ev\n",
+			}},
+			analyzer: "creditbalance",
+		},
+		{
+			name: "deleted credit-flight Put in the return callback",
+			file: "internal/ugni/gni.go",
+			edits: []edit{{
+				old: "\tg.creditFlights.Put(fl)\n",
+				new: "\t_ = fl\n",
+			}},
+			analyzer: "flightlifecycle",
+		},
+		{
+			name: "deleted MaxRetries guard on the transaction-error re-post",
+			file: "internal/machine/ugnimachine/layer.go",
+			edits: []edit{{
+				old: "\t\tif int(d.Attempts) > l.cfg.MaxRetries {\n" +
+					"\t\t\tpanic(fmt.Sprintf(\"ugnimachine: %v transaction to PE %d failed %d times\",\n" +
+					"\t\t\t\td.Kind, d.Remote, d.Attempts))\n" +
+					"\t\t}\n",
+				new: "",
+			}},
+			analyzer: "boundedretry",
 		},
 	}
 }

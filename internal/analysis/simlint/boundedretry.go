@@ -1,0 +1,250 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// BoundedRetry proves every re-post of a failed descriptor is bounded:
+// on each path from an EvError arm to a `retry post` call carrying the
+// failed descriptor, an Attempts comparison must dominate the re-post —
+// otherwise a persistently failing transaction re-posts forever and the
+// simulated NIC livelocks in virtual time. Failed descriptors are found
+// by taint: values drawn from an event's .Desc field (directly or
+// through a local). The path-sensitivity comes from the typestate
+// machine — "guard seen" is a state, not a syntactic containment check,
+// so a guard inside one switch arm does not excuse a re-post in
+// another. Two shape rules complete the bound: a `retry bounded`
+// handler must scale its backoff by the attempt count (a shift indexed
+// by .Attempts), and a `credit drain` loop must stop on RCNotDone — the
+// window's backpressure signal — rather than spin re-issuing into a
+// closed window.
+var BoundedRetry = &framework.Analyzer{
+	Name: "boundedretry",
+	Doc: "prove failed-descriptor re-posts are bounded: an Attempts guard " +
+		"dominates every re-post path, backoff scales with the attempt count, " +
+		"and drain loops yield to RCNotDone backpressure",
+	Grammar: "//simlint:proto retry bounded   (func doc: fault handler re-posting under an Attempts guard)\n" +
+		"//simlint:proto retry post   (func doc: a posting verb re-posts flow through)",
+	Run: runBoundedRetry,
+}
+
+// retryKey is the single per-function record the guard machine tracks.
+type retryKey struct{}
+
+// retryMachine: "guard" (any Attempts comparison) moves to guarded;
+// "repost" is only legal once guarded.
+func retryMachine() *framework.Machine[string] {
+	return framework.NewMachine("retry", "unguarded").
+		Rule("unguarded", "guard", "guarded").
+		Rule("guarded", "guard", "guarded").
+		Rule("guarded", "repost", "guarded").
+		Accept("unguarded", "guarded")
+}
+
+func retryEngine(pass *framework.Pass, c *protoCtx) *framework.Typestate[string] {
+	return pass.Prog.Memo("boundedretry-engine", func() any {
+		taints := make(map[ast.Node]map[*types.Var]bool)
+		return &framework.Typestate[string]{
+			Machine:    retryMachine(),
+			Analyzer:   pass.Analyzer,
+			Prog:       pass.Prog,
+			SummaryKey: retryKey{},
+			Classify: func(fi *framework.FuncInfo, n ast.Node, emit func(framework.TsOp)) {
+				classifyRetry(c, taints, fi, n, emit)
+			},
+		}
+	}).(*framework.Typestate[string])
+}
+
+// classifyRetry attributes guard and re-post operations to one CFG node.
+func classifyRetry(c *protoCtx, taints map[ast.Node]map[*types.Var]bool, fi *framework.FuncInfo, n ast.Node, emit func(framework.TsOp)) {
+	info := fi.Pass.TypesInfo
+	tainted := taints[fi.Body()]
+	if tainted == nil {
+		tainted = descTaints(info, fi.Body())
+		taints[fi.Body()] = tainted
+	}
+	inspectNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.BinaryExpr:
+			switch m.Op {
+			case token.GTR, token.GEQ, token.LSS, token.LEQ:
+				if mentionsAttempts(m) {
+					emit(framework.TsOp{Key: retryKey{}, Verb: "guard", Pos: m.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if !retryPostCall(c, info, m) {
+				return true
+			}
+			for _, a := range m.Args {
+				if taintedDesc(info, tainted, a) {
+					emit(framework.TsOp{Key: retryKey{}, Verb: "repost", Pos: m.Pos()})
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// retryPostCall reports whether the call posts a descriptor: its static
+// callee is `retry post` annotated, directly or through a unit-selector
+// call (the rdmaUnit(size)(desc, at) idiom).
+func retryPostCall(c *protoCtx, info *types.Info, call *ast.CallExpr) bool {
+	if id := staticCalleeID(info, call); id != "" && c.retryRole(id) == "post" {
+		return true
+	}
+	if inner, ok := call.Fun.(*ast.CallExpr); ok {
+		if id := staticCalleeID(info, inner); id != "" && c.retryRole(id) == "post" {
+			return true
+		}
+	}
+	return false
+}
+
+// descTaints collects (flow-insensitively) the locals assigned from an
+// event's .Desc field.
+func descTaints(info *types.Info, body ast.Node) map[*types.Var]bool {
+	tainted := make(map[*types.Var]bool)
+	if body == nil {
+		return tainted
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			if !descSelector(r) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				tainted[v] = true
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				tainted[v] = true
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// taintedDesc reports whether an argument carries a failed descriptor: a
+// tainted local or a direct .Desc selector.
+func taintedDesc(info *types.Info, tainted map[*types.Var]bool, e ast.Expr) bool {
+	if descSelector(e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return tainted[v]
+		}
+	}
+	return false
+}
+
+func descSelector(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Desc"
+}
+
+// mentionsAttempts reports whether the expression's subtree reads an
+// .Attempts field.
+func mentionsAttempts(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Attempts" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// backoffShift reports whether the body scales something by a shift
+// indexed on the attempt count — the exponential-backoff shape.
+func backoffShift(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.SHL && mentionsAttempts(be.Y) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// drainYields reports whether some loop in the body checks RCNotDone —
+// the drain's stop-on-backpressure obligation.
+func drainYields(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(loop, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && id.Name == "RCNotDone" {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+func runBoundedRetry(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	c := protoContext(pass)
+	ts := retryEngine(pass, c)
+	for _, pf := range c.scopeFuncs(pass) {
+		if !inPass(pass, pf.pkg.PkgPath) {
+			continue
+		}
+		switch role := c.retryRole(pf.id); role {
+		case "", "post":
+		case "bounded":
+			if !backoffShift(pf.decl.Body) {
+				pass.Reportf(pf.decl.Name.Pos(),
+					"retry bounded %s has no backoff shift indexed by .Attempts: "+
+						"retries would hammer the NIC at a fixed virtual-time cadence",
+					pf.display)
+			}
+		default:
+			pass.Reportf(pf.decl.Name.Pos(),
+				"unknown retry role %q: want bounded or post", role)
+			continue
+		}
+		if c.creditRole(pf.id) == "drain" && !drainYields(pf.decl.Body) {
+			pass.Reportf(pf.decl.Name.Pos(),
+				"credit drain %s has no loop that stops on RCNotDone: it would "+
+					"spin re-issuing into a closed credit window", pf.display)
+		}
+		fi := findFuncInfo(pass, pf.decl)
+		if fi == nil {
+			continue
+		}
+		entry := map[any]string{retryKey{}: "unguarded"}
+		for _, v := range ts.Analyze(fi, entry, nil) {
+			if v.Exit {
+				continue
+			}
+			pass.Reportf(v.Pos,
+				"failed descriptor re-posted with no dominating .Attempts bound on "+
+					"this path: a persistently failing transaction would re-post forever")
+		}
+	}
+	return nil
+}

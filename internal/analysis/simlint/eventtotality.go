@@ -1,0 +1,140 @@
+package simlint
+
+import (
+	"sort"
+
+	"charmgo/internal/analysis/framework"
+)
+
+// EventTotality is the whole-program match between emitted event kinds
+// and the dispatch switches that consume them. Every labeled kind must
+// be emitted somewhere (a handler arm for a never-emitted kind is dead
+// protocol surface, usually a refactor leftover), and for every class it
+// carries — except "polled", whose events are reaped synchronously —
+// some dispatcher of that class must handle it, either by naming the
+// constant in its body or by accounting for it in the annotation's
+// extras list (the default arm that fills the dispatched envelope).
+// Dually, a dispatcher may only reference kinds of its own class, and
+// every const of a type that carries labeled kinds must itself be
+// labeled — an unlabeled kind would silently bypass the totality check,
+// which is exactly how an unhandled-event bug is born.
+var EventTotality = &framework.Analyzer{
+	Name: "eventtotality",
+	Doc: "whole-program totality of event dispatch: every labeled kind is " +
+		"emitted and handled by a dispatcher of each of its classes, every " +
+		"dispatcher arm names a kind of its class, no kind escapes unlabeled",
+	Grammar: "//simlint:proto event kind <class>...   (const doc: classifies the kind; \"polled\" needs no dispatcher)\n" +
+		"//simlint:proto event dispatch <class> [Kind...]   (func doc: handles every kind of <class>; extras are accounted arms)",
+	Run: runEventTotality,
+}
+
+func runEventTotality(pass *framework.Pass) error {
+	if !simulationScope(pass.PkgPath) {
+		return nil
+	}
+	c := protoContext(pass)
+
+	kinds := make([]*eventKind, 0, len(c.eventConsts))
+	for _, k := range c.eventConsts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].id < kinds[j].id })
+
+	// Kind-side checks, reported by the package that declares the kind.
+	for _, k := range kinds {
+		if !inPass(pass, k.pkgPath) {
+			continue
+		}
+		if len(k.emissions) == 0 {
+			pass.Reportf(k.pos,
+				"event kind %s is never emitted: no Event composite or .Type "+
+					"assignment names it", k.name)
+		}
+		for _, class := range k.classes {
+			if class == "polled" {
+				continue
+			}
+			if !classHandles(c, class, k) {
+				pass.Reportf(k.pos,
+					"event kind %s is not handled by any %q dispatcher: an emitted "+
+						"%s event would be dropped on the floor", k.name, class, k.name)
+			}
+		}
+	}
+
+	// Unlabeled consts of a labeled kind type bypass totality.
+	for _, u := range c.unlabeled {
+		if inPass(pass, u.pkgPath) {
+			pass.Reportf(u.pos,
+				"constant %s has an event-kind type but no //simlint:proto event "+
+					"kind label: it is invisible to dispatch totality", u.name)
+		}
+	}
+
+	// Dispatcher-side checks, reported by the handler's package.
+	for _, d := range c.dispatchers {
+		if !inPass(pass, d.fn.pkg.PkgPath) {
+			continue
+		}
+		refs := make([]string, 0, len(d.refs))
+		for id := range d.refs {
+			refs = append(refs, id)
+		}
+		sort.Strings(refs)
+		for _, id := range refs {
+			k := c.eventConsts[id]
+			if !kindHasClass(k, d.class) {
+				pass.Reportf(d.fn.decl.Name.Pos(),
+					"dispatcher %s (class %q) has an arm for %s, which does not "+
+						"carry class %q", d.fn.display, d.class, k.name, d.class)
+			}
+		}
+		extras := make([]string, 0, len(d.extras))
+		for name := range d.extras {
+			extras = append(extras, name)
+		}
+		sort.Strings(extras)
+		for _, name := range extras {
+			if !extraResolves(kinds, name, d.class) {
+				pass.Reportf(d.fn.decl.Name.Pos(),
+					"dispatcher %s accounts for kind %s, but no labeled event kind "+
+						"of class %q has that name", d.fn.display, name, d.class)
+			}
+		}
+	}
+	return nil
+}
+
+// classHandles reports whether some dispatcher of the class handles the
+// kind, by body reference or by accounted extra.
+func classHandles(c *protoCtx, class string, k *eventKind) bool {
+	for _, d := range c.dispatchers {
+		if d.class != class {
+			continue
+		}
+		if d.refs[k.id] || d.extras[k.name] {
+			return true
+		}
+	}
+	return false
+}
+
+func kindHasClass(k *eventKind, class string) bool {
+	for _, c := range k.classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// extraResolves reports whether an accounted extra names a labeled kind
+// of the dispatcher's class.
+func extraResolves(kinds []*eventKind, name, class string) bool {
+	for _, k := range kinds {
+		if k.name == name && kindHasClass(k, class) {
+			return true
+		}
+	}
+	return false
+}

@@ -22,10 +22,13 @@ import (
 
 // Analyzers returns the full suite in stable order: the five determinism
 // analyzers from PR 2, the four ownership analyzers built on the
-// CFG/dataflow engine (framework/cfg.go, dataflow.go, callgraph.go), then
-// the shardsafe family built on the interprocedural points-to analysis
+// CFG/dataflow engine (framework/cfg.go, dataflow.go, callgraph.go), the
+// shardsafe family built on the interprocedural points-to analysis
 // (framework/pointsto.go) that proves the parallel-window kernel's
-// shard-ownership discipline.
+// shard-ownership discipline, then the protoflow family built on the
+// interprocedural typestate engine (framework/typestate.go) that proves
+// the machine layers' resource protocols — credit conservation, flight
+// lifecycles, event-dispatch totality, bounded retry.
 func Analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		NoWallClock,
@@ -41,6 +44,10 @@ func Analyzers() []*framework.Analyzer {
 		AtomicShared,
 		SingleWriter,
 		WindowSend,
+		CreditBalance,
+		FlightLifecycle,
+		EventTotality,
+		BoundedRetry,
 	}
 }
 

@@ -78,6 +78,26 @@ func TestWindowSendFixture(t *testing.T) {
 		"charmgo/internal/sim")
 }
 
+func TestCreditBalanceFixture(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("creditbalance"), CreditBalance,
+		"charmgo/internal/demo")
+}
+
+func TestFlightLifecycleFixture(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("flightlifecycle"), FlightLifecycle,
+		"charmgo/internal/demo")
+}
+
+func TestEventTotalityFixture(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("eventtotality"), EventTotality,
+		"charmgo/internal/demo")
+}
+
+func TestBoundedRetryFixture(t *testing.T) {
+	framework.RunFixture(t, fixtureRoot("boundedretry"), BoundedRetry,
+		"charmgo/internal/demo")
+}
+
 // TestScope pins the package-scope helpers the analyzers share.
 func TestScope(t *testing.T) {
 	cases := []struct {

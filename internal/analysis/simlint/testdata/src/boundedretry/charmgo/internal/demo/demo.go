@@ -1,0 +1,110 @@
+// Package demo seeds boundedretry fixtures: a failed descriptor (tainted
+// from an event's .Desc) may only be re-posted under a dominating
+// .Attempts comparison, bounded handlers must scale backoff by the
+// attempt count, and drain loops must yield to RCNotDone.
+package demo
+
+// RCNotDone is the window-full return code.
+const RCNotDone = 1
+
+// Desc is one posted descriptor.
+type Desc struct {
+	Attempts uint8
+	Size     int
+}
+
+// Event carries a failed descriptor back to the handler.
+type Event struct {
+	Desc *Desc
+}
+
+var waited int
+
+func wait(n int) { waited += n }
+
+func rcOf(i int) int { return i & 1 }
+
+// post re-posts a descriptor.
+//
+//simlint:proto retry post
+func post(d *Desc) {}
+
+// unitFor picks the posting unit by size.
+//
+//simlint:proto retry post
+func unitFor(size int) func(*Desc) { return post }
+
+// onErrClean guards, backs off exponentially, re-posts.
+//
+//simlint:proto retry bounded
+func onErrClean(ev Event) {
+	d := ev.Desc
+	if d.Attempts > 3 {
+		return
+	}
+	wait(1 << d.Attempts)
+	post(d)
+}
+
+// onErrUnitClean re-posts through the unit selector under a guard.
+//
+//simlint:proto retry bounded
+func onErrUnitClean(ev Event) {
+	d := ev.Desc
+	if int(d.Attempts) >= 4 {
+		return
+	}
+	wait(2 << d.Attempts)
+	unitFor(d.Size)(d)
+}
+
+// onErrNaked re-posts with no bound at all.
+func onErrNaked(ev Event) {
+	post(ev.Desc) // want `failed descriptor re-posted with no dominating .Attempts bound`
+}
+
+// onErrBranch guards one arm but re-posts unguarded on the other.
+func onErrBranch(ev Event, slow bool) {
+	d := ev.Desc
+	if slow {
+		if d.Attempts > 3 {
+			return
+		}
+		post(d)
+		return
+	}
+	post(d) // want `failed descriptor re-posted with no dominating .Attempts bound`
+}
+
+// onErrFlat guards but retries at a fixed cadence.
+//
+//simlint:proto retry bounded
+func onErrFlat(ev Event) { // want `retry bounded onErrFlat has no backoff shift`
+	d := ev.Desc
+	if d.Attempts > 3 {
+		return
+	}
+	wait(8)
+	post(d)
+}
+
+// drainClean re-issues until the window refuses.
+//
+//simlint:proto credit drain
+func drainClean(n int) {
+	for n > 0 {
+		if rcOf(n) == RCNotDone {
+			return
+		}
+		n--
+	}
+}
+
+// drainSpin never checks the window's backpressure.
+//
+//simlint:proto credit drain
+func drainSpin(n int) { // want `credit drain drainSpin has no loop that stops on RCNotDone`
+	for n > 0 {
+		n--
+	}
+}

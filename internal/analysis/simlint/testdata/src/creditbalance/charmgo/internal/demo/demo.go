@@ -1,0 +1,121 @@
+// Package demo seeds creditbalance fixtures: the window/account pair
+// must move in lock-step ±1 steps, every role exits on its declared
+// balance, helpers compose through summaries, and the drain must be
+// wired into a dispatcher.
+package demo
+
+// conn is one connection's credit window.
+type conn struct {
+	limit    int32
+	inflight int32 //simlint:proto credit window
+}
+
+// acct is the global in-flight account.
+type acct struct {
+	total int64 //simlint:proto credit account
+}
+
+// sendClean consumes one credit on the success path, none on refusal.
+//
+//simlint:proto credit consume
+func sendClean(c *conn, g *acct, full bool) {
+	if full {
+		return
+	}
+	c.inflight++
+	g.total++
+}
+
+// sendSplit consumes through two helpers; the summaries compose to the
+// same (+1, +1) exit.
+//
+//simlint:proto credit consume
+func sendSplit(c *conn, g *acct) {
+	bumpWin(c)
+	bumpAcct(g)
+}
+
+// sendNested composes through a helper that itself composes.
+//
+//simlint:proto credit consume
+func sendNested(c *conn, g *acct) {
+	bumpBoth(c, g)
+}
+
+// sendHalf moves the window without the account: the composed exit is
+// unbalanced.
+//
+//simlint:proto credit consume
+func sendHalf(c *conn) { // want `credit imbalance: sendHalf may exit in state \(win\+1, acct\+0\)`
+	bumpWin(c)
+}
+
+func bumpWin(c *conn)  { c.inflight++ }
+func bumpAcct(g *acct) { g.total++ }
+
+func bumpBoth(c *conn, g *acct) {
+	bumpWin(c)
+	bumpAcct(g)
+}
+
+// giveBack returns one credit, or none when the connection is gone.
+//
+//simlint:proto credit return
+func giveBack(c *conn, g *acct) {
+	if c == nil {
+		return
+	}
+	c.inflight--
+	g.total--
+}
+
+// doubleReturn hands the same credit back twice.
+//
+//simlint:proto credit return
+func doubleReturn(c *conn, g *acct) { // want `credit imbalance: doubleReturn may exit in state \(win-2, acct-2\)`
+	c.inflight--
+	g.total--
+	c.inflight--
+	g.total--
+}
+
+// resetWindow overwrites the counter instead of stepping it.
+//
+//simlint:proto credit return
+func resetWindow(c *conn) {
+	c.inflight = 0 // want `credit field overwritten non-incrementally`
+}
+
+// orphanBump writes a credit field but no credit-role function can reach
+// it.
+func orphanBump(c *conn) { // want `orphanBump writes an annotated credit field but is not reachable`
+	c.inflight++
+}
+
+// drainQueue is wired into the dispatcher below.
+//
+//simlint:proto credit drain
+func drainQueue(c *conn, g *acct) {
+	sendClean(c, g, false)
+}
+
+// onCredit dispatches the window-reopened event to the drain.
+//
+//simlint:proto event dispatch ctl
+func onCredit(c *conn, g *acct) {
+	drainQueue(c, g)
+}
+
+// drainLost is a drain nothing dispatches.
+//
+//simlint:proto credit drain
+func drainLost(c *conn) { // want `credit drain drainLost is not referenced by any event dispatcher`
+	_ = c
+}
+
+// refundOops declares a role the protocol does not know.
+//
+//simlint:proto credit refund
+func refundOops(c *conn) { // want `unknown credit role "refund"`
+	_ = c
+}

@@ -1,0 +1,64 @@
+// Package demo seeds eventtotality fixtures: every labeled kind must be
+// emitted and handled by a dispatcher of each non-polled class it
+// carries, dispatcher arms must match their class, and consts of a kind
+// type must not escape unlabeled.
+package demo
+
+// EvType discriminates fixture events.
+type EvType int
+
+// Event is the fixture completion event.
+type Event struct {
+	Type EvType
+}
+
+const (
+	// EvPing: emitted below, handled by onCtl's switch.
+	//simlint:proto event kind ctl
+	EvPing EvType = iota
+	// EvDrop: labeled but neither emitted nor handled.
+	//simlint:proto event kind ctl
+	EvDrop // want `event kind EvDrop is never emitted` `event kind EvDrop is not handled by any "ctl" dispatcher`
+	// EvDone: polled kinds need no dispatcher, only an emission.
+	//simlint:proto event kind polled
+	EvDone
+	// EvWide: class ctl is accounted by onCtl's extras list; class data
+	// has no dispatcher at all.
+	//simlint:proto event kind ctl data
+	EvWide // want `event kind EvWide is not handled by any "data" dispatcher`
+	// EvStray has the kind type but no label.
+	EvStray EvType = 99 // want `constant EvStray has an event-kind type but no`
+)
+
+// emitPing builds the event by composite literal.
+func emitPing() Event { return Event{Type: EvPing} }
+
+// retag emits by assignment.
+func retag(ev *Event) { ev.Type = EvWide }
+
+// poll emits the polled kind nobody dispatches.
+func poll() {
+	var ev Event
+	ev.Type = EvDone
+	_ = ev
+}
+
+// onCtl dispatches the ctl class: EvPing by arm, EvWide accounted by the
+// annotation's extras.
+//
+//simlint:proto event dispatch ctl EvWide
+func onCtl(ev Event) {
+	switch ev.Type {
+	case EvPing:
+	}
+}
+
+// onMisc references a kind outside its class and accounts for one that
+// does not exist.
+//
+//simlint:proto event dispatch misc EvGhost
+func onMisc(ev Event) { // want `has an arm for EvDone, which does not carry class "misc"` `accounts for kind EvGhost`
+	if ev.Type == EvDone {
+		return
+	}
+}

@@ -133,6 +133,21 @@ func runFaultWorkload(params *gemini.Params, ugniCfg *ugnimachine.Config, sched 
 			fmt.Fprintf(&b, "fault %s = %d\n", k, n)
 		}
 	}
+	// Runtime witness of the conservation law the creditbalance analyzer
+	// proves statically: every consumed mailbox credit is either returned
+	// by a receive-side dequeue or still in flight when the machine drains.
+	if ug, ok := m.Layer().(*ugnimachine.Layer); ok {
+		g := ug.GNI()
+		consumed, returned, inflight := g.CreditsConsumed(), g.CreditReturns(), g.CreditsInFlight()
+		if consumed == 0 {
+			violations = append(violations, "no SMSG credits consumed: conservation check is vacuous")
+		}
+		if inflight < 0 || consumed != returned+uint64(inflight) {
+			violations = append(violations, fmt.Sprintf(
+				"credit conservation broken: consumed %d != returned %d + in-flight %d",
+				consumed, returned, inflight))
+		}
+	}
 	closeMachine(m)
 	return faultResult{render: b.String(), layer: layer, faults: ks.Faults}, violations
 }

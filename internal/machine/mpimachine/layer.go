@@ -63,10 +63,12 @@ type pumpState struct {
 // rendezvous GET crossed the shard partition. One record per PE suffices
 // because the progress engine is strictly sequential: pump stays held
 // while a deferred Recv is in flight.
+//
+//simlint:proto flight oneshot
 type recvState struct {
 	l       *Layer
 	pe      int32
-	pending bool // RecvThen issued, finishRecv not yet run
+	pending bool //simlint:proto flight pending
 	held    bool // pump held closed across a barrier-deferred completion
 	s       sim.Time
 	msg     *lrts.Message
@@ -219,6 +221,8 @@ func (l *Layer) receiveOne(pe int, env *mpi.Envelope, at sim.Time) (sync bool) {
 // finishRecv completes one progress-engine iteration — overhead
 // accounting, handler delivery, and (after a barrier-deferred receive)
 // reopening the pump — in exactly the order the synchronous path ran them.
+//
+//simlint:proto flight complete
 func finishRecv(arg any, done sim.Time) {
 	st := arg.(*recvState)
 	st.pending = false

@@ -264,6 +264,11 @@ func New(g *ugni.GNI, cfg Config) *Layer {
 // Name implements lrts.Layer.
 func (l *Layer) Name() string { return "ugni" }
 
+// GNI exposes the layer's uGNI device so tests can assert at runtime the
+// credit-conservation law the creditbalance analyzer proves statically:
+// CreditsConsumed() == CreditReturns() + CreditsInFlight() at drain.
+func (l *Layer) GNI() *ugni.GNI { return l.gni }
+
 // Stats implements lrts.Layer. Counters that never fired are omitted,
 // matching the sparse map the old bump-per-message implementation built.
 func (l *Layer) Stats() map[string]int64 {
@@ -566,6 +571,8 @@ func (l *Layer) enqueueSmall(q *sendQueue, msg *lrts.Message) {
 // credit window toward ev.Dst reopened, so ship blocked messages in FIFO
 // order until the queue empties or the window fills again (in which case
 // the next credit return resumes the drain).
+//
+//simlint:proto credit drain
 func (l *Layer) drainPending(pe int, ev ugni.Event) {
 	q := l.pendq[qKey(ev.Src, ev.Dst)]
 	if q == nil || q.n == 0 {
@@ -703,6 +710,8 @@ func fireIntra(arg any) {
 }
 
 // rdmaUnit picks FMA or BTE by size (Section III-C).
+//
+//simlint:proto retry post
 func (l *Layer) rdmaUnit(size int) func(*ugni.PostDesc, sim.Time) sim.Time {
 	if size >= l.cfg.BTEThreshold {
 		return l.gni.PostRdma
@@ -713,6 +722,7 @@ func (l *Layer) rdmaUnit(size int) func(*ugni.PostDesc, sim.Time) sim.Time {
 // onSmsg is the progress engine's SMSG event hook for pe.
 //
 //simlint:hotpath
+//simlint:proto event dispatch smsg EvSmsg
 func (l *Layer) onSmsg(pe int, ev ugni.Event) {
 	if ev.Type == ugni.EvCreditReturn {
 		// Not a message: the credit window toward ev.Dst reopened.
@@ -820,6 +830,8 @@ type rdmaRecvState struct {
 // protocols; remote completions record persistent data arrival.
 //
 //simlint:hotpath
+//simlint:proto event dispatch rdma
+//simlint:proto retry bounded
 func (l *Layer) onRdma(pe int, ev ugni.Event) {
 	switch ev.Type {
 	case ugni.EvError:

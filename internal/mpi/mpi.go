@@ -382,6 +382,8 @@ func (c *Comm) enqueuePend(q *pendQueue, tag uint8, wireSize int, env *Envelope)
 // drainPending re-issues blocked sends in FIFO order when the credit
 // window reopens, stopping if it fills again (the next EvCreditReturn
 // resumes).
+//
+//simlint:proto credit drain
 func (c *Comm) drainPending(ev ugni.Event) {
 	q := c.pendq[pendKey(ev.Src, ev.Dst)]
 	if q == nil || q.n == 0 {
@@ -435,6 +437,7 @@ func fireIntraArrive(arg any) {
 // onSmsg demultiplexes uGNI SMSG events.
 //
 //simlint:hotpath
+//simlint:proto event dispatch smsg EvSmsg
 func (c *Comm) onSmsg(rank int, ev ugni.Event) {
 	if ev.Type == ugni.EvCreditReturn {
 		// Not a message: the credit window toward ev.Dst reopened.
@@ -449,6 +452,8 @@ func (c *Comm) onSmsg(rank int, ev ugni.Event) {
 // is this one, so it returns to the pool here.
 //
 //simlint:hotpath
+//simlint:proto event dispatch mpirdma
+//simlint:proto retry bounded
 func (c *Comm) onRdma(rank int, ev ugni.Event) {
 	if ev.Type == ugni.EvError {
 		// Transaction error on an eager-large PUT: bounded retry with
@@ -533,6 +538,8 @@ func (c *Comm) Recv(env *Envelope, buf BufID, at sim.Time) sim.Time {
 // barrier: the blocking-Recv bookkeeping (retroactive CPU occupation from
 // the Recv call, counter, envelope recycle) plus the caller's completion
 // callback, all applied when the barrier books the GET's return path.
+//
+//simlint:proto flight record
 type rdvFlight struct {
 	c    *Comm
 	env  *Envelope
@@ -546,6 +553,8 @@ type rdvFlight struct {
 // (PEResource accepts the retroactive start — the span begins at the Recv
 // call, before the barrier's clock) and the caller's callback gets the
 // completion time.
+//
+//simlint:proto flight complete
 func rdvArrived(arg any, dataArrive sim.Time) {
 	fl := arg.(*rdvFlight)
 	c, env := fl.c, fl.env

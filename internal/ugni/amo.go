@@ -46,6 +46,8 @@ type AMODesc struct {
 
 // EvAmoDone is delivered to the initiator's CQ when the AMO completes;
 // Event.AmoOld holds the pre-operation value.
+//
+//simlint:proto event kind polled
 const EvAmoDone EventType = 100
 
 // amoWireBytes is the request/response payload size on the wire.
@@ -65,6 +67,8 @@ func (g *GNI) AMORead(node, addr int) int64 {
 // the request's arrival, which is where the atomic read-modify-write and
 // the response push happen. Pooled on the owning GNI (g.amoFlights);
 // released when amoApply finishes.
+//
+//simlint:proto flight record
 type amoFlight struct {
 	g     *GNI
 	d     *AMODesc
@@ -75,6 +79,8 @@ type amoFlight struct {
 // amoArrived is the network completion callback for the AMO request wire
 // transfer (synchronous intra-shard, barrier-deferred across the
 // partition).
+//
+//simlint:proto flight defer
 func amoArrived(arg any, reqArrive sim.Time) {
 	fl := arg.(*amoFlight)
 	fl.at = reqArrive
@@ -87,6 +93,8 @@ func amoArrived(arg any, reqArrive sim.Time) {
 // later. The response push crosses shards legally without deferral: the
 // control latency back to the initiator is at least the kernel lookahead
 // whenever the pair spans the partition.
+//
+//simlint:proto flight complete
 func amoApply(arg any) {
 	fl := arg.(*amoFlight)
 	g, d := fl.g, fl.d

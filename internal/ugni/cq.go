@@ -17,20 +17,26 @@ type EventType int
 
 const (
 	// EvSmsg: a short message landed in this PE's mailbox.
+	//simlint:proto event kind smsg
 	EvSmsg EventType = iota
 	// EvTxDone: a locally issued SMSG send left the NIC.
+	//simlint:proto event kind polled
 	EvTxDone
 	// EvRdmaLocal: a posted FMA/RDMA transaction completed locally
 	// (PUT: source buffer free; GET: data arrived).
+	//simlint:proto event kind rdma
 	EvRdmaLocal
 	// EvRdmaRemote: a transaction completed on the remote side.
+	//simlint:proto event kind rdma mpirdma
 	EvRdmaRemote
 	// EvError: a posted FMA/BTE transaction failed (GNI_RC_TRANSACTION_ERROR).
 	// Desc carries the failed descriptor so the layer can re-post it.
+	//simlint:proto event kind rdma mpirdma
 	EvError
 	// EvCreditReturn: the SMSG credit window toward Dst reopened after this
 	// PE (Src) saw RC_NOT_DONE. Machine layers drain their pending-send
 	// queue for the (Src, Dst) connection on this event.
+	//simlint:proto event kind smsg
 	EvCreditReturn
 )
 
@@ -178,6 +184,8 @@ type cqNode struct {
 // same callback. ev holds the prototype event (Type already set for the
 // remote-side delivery); the local-side delivery, when present, is the
 // same event retyped EvRdmaLocal. Pooled on the owning GNI (g.flights).
+//
+//simlint:proto flight record
 type cqFlight struct {
 	g      *GNI
 	local  *CQ // EvRdmaLocal at arrival (GET), nil otherwise
@@ -191,6 +199,7 @@ type cqFlight struct {
 // then recycles the record.
 //
 //simlint:hotpath
+//simlint:proto flight complete
 func flightArrived(arg any, arrive sim.Time) {
 	fl := arg.(*cqFlight)
 	g := fl.g

@@ -27,7 +27,7 @@ type GNI struct {
 	// saw RCNotDone gets one EvCreditReturn notification per starvation
 	// episode when the window reopens.
 	conns           map[uint64]*smsgConn
-	creditsInFlight int64
+	creditsInFlight int64 //simlint:proto credit account
 
 	// txArm counts armed one-shot transaction errors per initiator PE
 	// (nil until the fault injector arms one).
@@ -37,8 +37,9 @@ type GNI struct {
 	msgqBytes int64
 
 	// Fault/recovery counters (see the matching accessors).
-	smsgNotDone   uint64
-	creditReturns uint64
+	smsgNotDone    uint64
+	creditConsumed uint64
+	creditReturns  uint64
 	txErrors      uint64
 	cqOverruns    uint64
 
@@ -173,7 +174,7 @@ func (g *GNI) connect(a, b int) {
 // EvCreditReturn notification.
 type smsgConn struct {
 	limit    int32
-	inflight int32
+	inflight int32 //simlint:proto credit window
 	starved  bool
 }
 
@@ -209,6 +210,8 @@ func (g *GNI) conn(src, dst int) *smsgConn {
 // or beyond the current window's barrier. If the sender starved while the
 // window was full, one EvCreditReturn notification is delivered to its
 // SMSG receive CQ when the credit lands.
+//
+//simlint:proto credit return
 func (g *GNI) smsgConsumed(src, dst int, now sim.Time) {
 	srcNode := g.Net.NodeOf(src)
 	dstNode := g.Net.NodeOf(dst)
@@ -234,6 +237,8 @@ func (g *GNI) smsgConsumed(src, dst int, now sim.Time) {
 
 // creditFlight carries one internode credit return through the engine:
 // the control packet from the consuming receiver back to the sender's NIC.
+//
+//simlint:proto flight record
 type creditFlight struct {
 	g        *GNI
 	at       sim.Time
@@ -246,6 +251,8 @@ type creditFlight struct {
 // total latency the starved path always paid).
 //
 //simlint:hotpath
+//simlint:proto credit return
+//simlint:proto flight complete
 func creditBack(arg any) {
 	fl := arg.(*creditFlight)
 	g, src, dst, at := fl.g, int(fl.src), int(fl.dst), fl.at
@@ -349,6 +356,12 @@ func (g *GNI) SuspendSmsgCQ(pe int, from, until sim.Time) {
 // SmsgNotDone reports how many sends were refused with RCNotDone.
 func (g *GNI) SmsgNotDone() uint64 { return g.smsgNotDone }
 
+// CreditsConsumed reports how many mailbox credits were ever consumed by
+// accepted SMSG sends. With CreditReturns and CreditsInFlight it states
+// the conservation law the creditbalance analyzer proves statically:
+// consumed == returned + in-flight at every quiescent point.
+func (g *GNI) CreditsConsumed() uint64 { return g.creditConsumed }
+
 // CreditReturns reports how many mailbox credits were returned by
 // receive-side dequeues.
 func (g *GNI) CreditReturns() uint64 { return g.creditReturns }
@@ -374,6 +387,8 @@ var ErrSmsgTooBig = errors.New("ugni: message exceeds SMSG maximum size")
 // happen: the caller queues the message and retries when the EvCreditReturn
 // event says the window reopened. If txCQ is non-nil a TX_DONE event is
 // delivered there when the send leaves the NIC.
+//
+//simlint:proto credit consume
 func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at sim.Time, txCQ *CQ) (sim.Time, RC, error) {
 	if size > g.smsgMax {
 		return 0, RCErrorResource, fmt.Errorf("%w: %d > %d", ErrSmsgTooBig, size, g.smsgMax)
@@ -392,6 +407,7 @@ func (g *GNI) SmsgSendWTag(src, dst int, tag uint8, size int, payload any, at si
 	}
 	c.inflight++
 	g.creditsInFlight++
+	g.creditConsumed++
 	// Book through the node's SMSG NIC engine (FMA hardware, mailbox
 	// protocol overhead). The arrival rides a flight record: an intra-shard
 	// transfer delivers it synchronously right here (the same push order as
@@ -450,11 +466,15 @@ type PostDesc struct {
 
 // PostFma mirrors GNI_PostFma: execute the transaction on the FMA unit.
 // It returns the host CPU cost of posting.
+//
+//simlint:proto retry post
 func (g *GNI) PostFma(d *PostDesc, at sim.Time) sim.Time {
 	return g.post(d, gemini.UnitFMA, at)
 }
 
 // PostRdma mirrors GNI_PostRdma: queue the transaction on the BTE.
+//
+//simlint:proto retry post
 func (g *GNI) PostRdma(d *PostDesc, at sim.Time) sim.Time {
 	return g.post(d, gemini.UnitBTE, at)
 }
