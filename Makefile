@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint lint-audit lint-bench check fault-matrix shard-matrix bench-smoke bench-json profile profile-shard alloc-gate ns-gate
+.PHONY: build test test-race vet lint lint-audit lint-bench check fault-matrix shard-matrix resilience-matrix bench-smoke bench-json profile profile-shard alloc-gate ns-gate
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,17 @@ shard-matrix:
 	$(GO) test -race -count=1 -run 'TestShardMatrixDeterminism|TestShardCountInvariance|TestFaultedShardInvariance|TestWorkerCountInvariance|TestShardScale|TestWindowed' ./internal/bench/
 	$(GO) test -race -count=1 -run 'TestLinkOccupancyParity|TestLinkTrafficConservation|TestRouteFillRace' ./internal/gemini/
 
+# Node-failure recovery matrix (DESIGN.md §7) under the race detector:
+# the failover scenario runs (single kill on both layers, kill during a
+# rendezvous transfer, partition-heal, kill under both strategies — each
+# double-run for bit-identical replay), the 200-seed random kill/partition
+# failover property test (exactly-once delivery, per-connection FIFO,
+# pools drained), the checkpoint round-trip proof at kernel shards 1/2/4
+# in lockstep and windowed modes, and the strategy unit tests.
+resilience-matrix:
+	$(GO) test -race -count=1 -run 'TestResilience|TestWindowedCheckpointRoundTrip|TestFailoverPathsDrainPools' ./internal/bench/
+	$(GO) test -race -count=1 ./internal/resilience/ ./internal/fault/
+
 # Quick microbenchmark pass over the kernel hot paths plus the end-to-end
 # fig9a wall-clock benchmark.
 bench-smoke:
@@ -71,17 +82,19 @@ bench-smoke:
 	$(GO) test -run - -bench BenchmarkFig9aWallClock -benchtime 5x .
 
 # Full benchmark suite (figure wall-clock + sharded/windowed-kernel
-# scaling + kernel microbenchmarks) as JSON, with the recorded
-# pre-optimization baseline alongside. Each entry is the mean of 5
-# repeated runs with the sample stddev recorded. The output file tracks
-# the allocation discipline, the PR 6 shard-scaling work, and the PR 8
-# shard-local network model (windowed full-stack and shardscale entries);
-# the nsgate run afterwards fails the build if fig9a's fresh mean
-# regresses more than 3 recorded stddevs over the checked-in PR 6 level.
+# scaling + kernel microbenchmarks + recovery-strategy killed paths) as
+# JSON, with the recorded pre-optimization baseline alongside. Each entry
+# is the mean of 5 repeated runs with the sample stddev recorded. The
+# output file tracks the allocation discipline, the PR 6 shard-scaling
+# work, the PR 8 shard-local network model (windowed full-stack and
+# shardscale entries), and the PR 10 resilience machinery (team failover
+# and checkpoint rollback entries); the nsgate run afterwards fails the
+# build if fig9a's fresh mean regresses more than 3 recorded stddevs over
+# the checked-in PR 6 level.
 bench-json:
-	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR8.json
+	$(GO) run ./cmd/benchharness -benchjson > BENCH_PR10.json
 	$(GO) run ./cmd/benchharness -nsgate BENCH_PR6.json
-	@cat BENCH_PR8.json
+	@cat BENCH_PR10.json
 
 # Standalone wall-clock regression gate (also run by bench-json): fig9a
 # mean ns/op must stay within 3 recorded stddevs of the checked-in level.

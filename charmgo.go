@@ -60,6 +60,12 @@ type (
 	Probe = sim.Probe
 	// KernelStats is a ready-made Probe that aggregates kernel counters.
 	KernelStats = sim.KernelStats
+	// Checkpoint is a coordinated in-memory machine snapshot, taken at
+	// quiescence via Machine.Checkpoint (DESIGN.md §7).
+	Checkpoint = converse.Checkpoint
+	// KernelCheckpoint is the kernel clock/sequence part of a Checkpoint;
+	// pass it as MachineConfig.Resume to roll a fresh machine forward.
+	KernelCheckpoint = sim.KernelCheckpoint
 )
 
 // NewKernelStats returns an empty kernel-statistics probe.
@@ -108,8 +114,18 @@ type MachineConfig struct {
 	Probe Probe
 	// Faults, when non-nil, is the deterministic fault schedule injected
 	// into the NIC before the run starts (DESIGN.md §7). Same schedule +
-	// same workload seed replay bit-identically.
+	// same workload seed replay bit-identically. NodeKill ops are booked
+	// on the machine's schedulers (fault.ApplyKills) after construction;
+	// everything else goes through the NIC fault hooks.
 	Faults *fault.Schedule
+	// Resume, when non-nil, restores the kernel from a quiescent-machine
+	// checkpoint before anything is built: the fresh machine's clock,
+	// event sequence, and fired count continue exactly where the
+	// checkpointed machine stopped, so a rolled-back replay is
+	// bit-identical to the unbroken run (DESIGN.md §7). Obtain one from
+	// Machine.Checkpoint (the Kernel field), optionally advanced past the
+	// recovery delay with KernelCheckpoint.Advanced.
+	Resume *KernelCheckpoint
 	// Shards partitions the simulation kernel into per-node-group shards
 	// (sim.ShardedEngine over a topology slab partition). 0 falls back to
 	// the package default (see SetDefaultShards); 1 keeps the flat engine.
@@ -226,6 +242,14 @@ func NewMachine(cfg MachineConfig) *Machine {
 	} else {
 		eng = sim.NewEngine()
 	}
+	if cfg.Resume != nil {
+		// Restore before attaching the probe or building the network:
+		// construction must happen at the resumed clock (no layer books
+		// events before Run), and probes only observe post-resume work.
+		if err := eng.(sim.Checkpointer).Restore(*cfg.Resume); err != nil {
+			panic(fmt.Sprintf("charmgo: resume: %v", err))
+		}
+	}
 	if cfg.Probe != nil {
 		// Attach before building anything so every resource the network
 		// and machine layers create inherits the probe.
@@ -260,5 +284,10 @@ func NewMachine(cfg MachineConfig) *Machine {
 		opts = *cfg.Converse
 	}
 	opts.Tracer = cfg.Tracer
-	return converse.NewMachine(eng, net, layer, opts)
+	m := converse.NewMachine(eng, net, layer, opts)
+	if cfg.Faults != nil {
+		// Kills book on the machine's schedulers, so they apply last.
+		fault.ApplyKills(m, *cfg.Faults)
+	}
+	return m
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"charmgo"
+	"charmgo/internal/fault"
+	"charmgo/internal/resilience"
 	"charmgo/internal/sim"
 )
 
@@ -193,6 +195,28 @@ func shardScaleEntry(shards int, windowed bool) *suiteEntry {
 	}
 }
 
+// resilienceEntries measures the two recovery strategies on their
+// killed paths (one failover / one rollback per op): the BENCH_PR10.json
+// wall-clock cost of the resilience machinery itself — DeadRoute
+// redirects, dead-node reaping, and checkpoint/restore — under load.
+func resilienceEntries() []*suiteEntry {
+	kill := fault.Schedule{Ops: []fault.Op{{At: 15 * sim.Microsecond, Kind: fault.NodeKill, Src: 5}}}
+	return []*suiteEntry{
+		{name: "resilience_team_failover", fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resilience.RunTeam(resilience.TeamConfig{Teams: 4, Msgs: 24, Size: 512, Faults: &kill})
+			}
+		}},
+		{name: "resilience_checkpoint_rollback", fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resilience.RunCheckpoint(resilience.CheckpointConfig{
+					Nodes: 8, Phases: 4, HopsPerPhase: 32, Size: 512, Kills: kill.Ops,
+				})
+			}
+		}},
+	}
+}
+
 // RunBenchSuite runs the fixed figure + sharded-kernel + kernel
 // microbenchmark suite with interleaved sampling (see measureAll).
 func RunBenchSuite() []BenchResult {
@@ -216,6 +240,7 @@ func RunBenchSuite() []BenchResult {
 		entries = append(entries, shardScaleEntry(shards, false))
 	}
 	entries = append(entries, shardScaleEntry(4, true))
+	entries = append(entries, resilienceEntries()...)
 
 	entries = append(entries, &suiteEntry{name: "engine_schedule_fire", fn: func(b *testing.B) {
 		e := sim.NewEngine()

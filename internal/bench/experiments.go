@@ -63,6 +63,7 @@ func Experiments() []Experiment {
 		{"ext-smp", "Extension (paper SVII): SMP mode", ExtSMP},
 		{"ext-rate", "Extension: small-message rate", ExtRate},
 		{"ext-overlap", "Extension: receive pipelining (Fig 10 mechanism)", ExtOverlap},
+		{"ext-resilience", "Extension: node-failure recovery overhead vs latency", ExtResilience},
 	}
 }
 

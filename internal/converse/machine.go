@@ -61,6 +61,15 @@ type Machine struct {
 	sent      uint64
 	processed uint64
 	qdWatcher func(at sim.Time)
+
+	// Node-failure state (DESIGN.md §7; see death.go). deadPE is nil until
+	// the first ScheduleNodeKill, so fault-free runs pay one predictable
+	// branch on the delivery path and nothing else.
+	deadPE    []bool
+	deadNodes int
+	dropped   uint64
+	redirect  DeadRoute
+	kills     mem.FreeList[killNode]
 }
 
 // NewMachine wires a machine together and starts the layer. The layer must
@@ -134,7 +143,12 @@ type deliverNode struct {
 func fireDeliver(arg any) {
 	n := arg.(*deliverNode)
 	p, msg, at := n.p, n.msg, n.at
-	p.m.delivery.Put(n)
+	m := p.m
+	m.delivery.Put(n)
+	if m.deadPE != nil && m.deadPE[p.pe] {
+		m.deliverDead(p.pe, msg, at)
+		return
+	}
 	p.q.push(queued{msg: msg, seq: p.seq})
 	p.seq++
 	p.kick(at)

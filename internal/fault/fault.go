@@ -40,9 +40,25 @@ const (
 	// deliveries defer (holding their mailbox credits), the queue can
 	// overrun its finite depth, and resume runs the CqErrorRecover path.
 	CqBackPressure
+	// NodeKill fail-stops every PE on node Src at At: its schedulers stop
+	// dispatching forever and queued messages drop, while NIC-side state
+	// drains normally. Kills are booked on the machine (fault.ApplyKills),
+	// not the NIC, so Apply skips them.
+	NodeKill
+	// Partition takes down every torus link crossing one cut plane for
+	// [At, At+Dur), splitting the network in two (Op.Arg selects the
+	// plane, reduced mod gemini.Network.CutPlanes at apply).
+	Partition
 
 	numKinds
 )
+
+// numRandomKinds freezes the base RandomSchedule draw at the four NIC/
+// network kinds that existed when its seed streams were first published:
+// adding resilience kinds (NodeKill, Partition) must not perturb the
+// schedule any historical seed produces. New kinds are drawn only by
+// RandomResilienceSchedule.
+const numRandomKinds = CqBackPressure + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -55,6 +71,10 @@ func (k Kind) String() string {
 		return "tx-error"
 	case CqBackPressure:
 		return "cq-back-pressure"
+	case NodeKill:
+		return "node-kill"
+	case Partition:
+		return "partition"
 	}
 	return "fault?"
 }
@@ -65,6 +85,8 @@ func (k Kind) String() string {
 //	CreditSqueeze:  At, Dur, Src, Dst, Arg (slots remaining, >= 0)
 //	TxError:        At, Src (initiating PE), Arg (number of posts, >= 1)
 //	CqBackPressure: At, Dur, Src (suspended PE)
+//	NodeKill:       At, Src (node index)
+//	Partition:      At, Dur, Arg (cut plane, reduced mod CutPlanes at apply)
 type Op struct {
 	At       sim.Time
 	Kind     Kind
@@ -84,6 +106,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s at=%d pe=%d n=%d", o.Kind, o.At, o.Src, o.Arg)
 	case CqBackPressure:
 		return fmt.Sprintf("%s at=%d dur=%d pe=%d", o.Kind, o.At, o.Dur, o.Src)
+	case NodeKill:
+		return fmt.Sprintf("%s at=%d node=%d", o.Kind, o.At, o.Src)
+	case Partition:
+		return fmt.Sprintf("%s at=%d dur=%d plane=%d", o.Kind, o.At, o.Dur, o.Arg)
 	}
 	return "op?"
 }
@@ -151,10 +177,47 @@ func Apply(g *ugni.GNI, s Schedule) {
 			g.ArmTxError(o.Src, o.Arg, o.At)
 		case CqBackPressure:
 			g.SuspendSmsgCQ(o.Src, o.At, o.At+o.Dur)
+		case Partition:
+			g.Net.PartitionCut(o.Arg, o.At, o.Dur)
+		case NodeKill:
+			// Kills mutate scheduler state, not NIC state: booked on the
+			// machine via ApplyKills after construction.
 		default:
 			panic(fmt.Sprintf("fault: unknown kind %d", o.Kind))
 		}
 	}
+}
+
+// KillScheduler books fail-stop node kills; converse.Machine implements
+// it.
+type KillScheduler interface {
+	ScheduleNodeKill(node int, at sim.Time)
+}
+
+// ApplyKills books every NodeKill op in the schedule on the machine and
+// reports how many it booked. Kills are the one fault kind applied after
+// machine construction — Apply skips them — because a kill fail-stops
+// the scheduler, not the NIC.
+func ApplyKills(m KillScheduler, s Schedule) int {
+	n := 0
+	for _, o := range s.Ops {
+		if o.Kind == NodeKill {
+			m.ScheduleNodeKill(o.Src, o.At)
+			n++
+		}
+	}
+	return n
+}
+
+// Kills reports how many NodeKill ops the schedule contains.
+func (s Schedule) Kills() int {
+	n := 0
+	for _, o := range s.Ops {
+		if o.Kind == NodeKill {
+			n++
+		}
+	}
+	return n
 }
 
 // Random describes the space RandomSchedule draws from.
@@ -191,7 +254,7 @@ func RandomSchedule(seed uint64, cfg Random) Schedule {
 	rng := sim.NewRNG(seed)
 	ops := make([]Op, 0, cfg.Ops)
 	for i := 0; i < cfg.Ops; i++ {
-		kinds := int(numKinds)
+		kinds := int(numRandomKinds)
 		if cfg.Links <= 0 {
 			kinds-- // skip LinkFlap by drawing from the other kinds
 		}
@@ -225,24 +288,119 @@ func RandomSchedule(seed uint64, cfg Random) Schedule {
 	return Schedule{Ops: ops}
 }
 
-// Shrink greedily minimizes a failing schedule: it retries fails with one
-// op removed at a time, keeping any removal that still fails, until no
-// single removal preserves the failure. fails must be a pure function of
-// the schedule (run the workload fresh each call).
+// Resilience describes the space RandomResilienceSchedule draws from: a
+// base NIC/network fault space plus node kills and network partitions.
+type Resilience struct {
+	// Random is the base fault space; set Ops to 0 for a kills-and-
+	// partitions-only schedule.
+	Random
+	// Nodes is the machine's node count (required when Kills > 0).
+	Nodes int
+	// Kills is how many distinct nodes to fail-stop.
+	Kills int
+	// Killable lists the candidate nodes for kills; nil means every node
+	// except node 0 (something must survive to observe recovery).
+	Killable []int
+	// Partitions is how many partition cuts to draw (the cut plane is
+	// reduced mod gemini.Network.CutPlanes at apply).
+	Partitions int
+}
+
+// RandomResilienceSchedule draws a resilience schedule from the seeded
+// simulation RNG: the base faults come from RandomSchedule (bit-for-bit
+// the schedule that seed has always produced), and kills/partitions are
+// drawn from an independent stream derived from the same seed, so
+// enabling resilience faults never perturbs the base fault replay.
+func RandomResilienceSchedule(seed uint64, cfg Resilience) Schedule {
+	var ops []Op
+	if cfg.Ops > 0 {
+		ops = RandomSchedule(seed, cfg.Random).Ops
+	}
+	if cfg.Horizon <= 0 {
+		panic(fmt.Sprintf("fault: RandomResilienceSchedule with horizon %d", cfg.Horizon))
+	}
+	maxWin := cfg.MaxWindow
+	if maxWin <= 0 {
+		maxWin = cfg.Horizon / 4
+	}
+	if maxWin <= 0 {
+		maxWin = 1
+	}
+	// Independent stream: a fixed odd constant keeps kill draws from
+	// aliasing the base-schedule stream for any seed.
+	rng := sim.NewRNG(seed ^ 0xd1b54a32d192ed03)
+	if cfg.Kills > 0 {
+		if cfg.Nodes < 2 {
+			panic(fmt.Sprintf("fault: %d kills on a %d-node machine", cfg.Kills, cfg.Nodes))
+		}
+		pool := cfg.Killable
+		if pool == nil {
+			pool = make([]int, cfg.Nodes-1)
+			for i := range pool {
+				pool[i] = i + 1
+			}
+		}
+		pool = append([]int(nil), pool...)
+		kills := cfg.Kills
+		if kills > len(pool) {
+			kills = len(pool)
+		}
+		for i := 0; i < kills; i++ {
+			// Partial Fisher-Yates: distinct nodes, deterministic order.
+			j := i + rng.Intn(len(pool)-i)
+			pool[i], pool[j] = pool[j], pool[i]
+			ops = append(ops, Op{
+				// Kills land in [Horizon/8, Horizon): the workload gets a
+				// running start, so a kill always interrupts live traffic.
+				At:   cfg.Horizon/8 + sim.Time(rng.Uint64()%uint64(cfg.Horizon-cfg.Horizon/8)),
+				Kind: NodeKill,
+				Src:  pool[i],
+			})
+		}
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		ops = append(ops, Op{
+			At:   sim.Time(rng.Uint64() % uint64(cfg.Horizon)),
+			Kind: Partition,
+			Arg:  rng.Intn(1 << 16), // reduced mod CutPlanes at apply
+			Dur:  1 + sim.Time(rng.Uint64()%uint64(maxWin)),
+		})
+	}
+	sortOps(ops)
+	return Schedule{Ops: ops}
+}
+
+// Shrink minimizes a failing schedule: a greedy one-op-removal pass runs
+// to fixpoint, then a duration-halving pass shortens each windowed op as
+// far as the failure survives, looping until neither pass changes the
+// schedule. fails must be a pure function of the schedule (run the
+// workload fresh each call). Shrink is idempotent: re-shrinking a
+// shrunk schedule returns it unchanged.
 func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
 	for {
-		removed := false
+		changed := false
 		for i := 0; i < len(s.Ops); i++ {
 			trial := Schedule{Ops: make([]Op, 0, len(s.Ops)-1)}
 			trial.Ops = append(trial.Ops, s.Ops[:i]...)
 			trial.Ops = append(trial.Ops, s.Ops[i+1:]...)
 			if fails(trial) {
 				s = trial
-				removed = true
+				changed = true
 				i--
 			}
 		}
-		if !removed {
+		for i := range s.Ops {
+			for s.Ops[i].Dur > 1 {
+				trial := Schedule{Ops: append([]Op(nil), s.Ops...)}
+				trial.Ops[i].Dur /= 2
+				if !fails(trial) {
+					break
+				}
+				s = trial
+				changed = true
+			}
+		}
+		if !changed {
 			return s
 		}
 	}

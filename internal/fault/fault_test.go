@@ -56,6 +56,131 @@ func TestShrinkMinimizes(t *testing.T) {
 	}
 }
 
+func TestRandomResilienceSchedule(t *testing.T) {
+	cfg := Resilience{
+		Random:     Random{PEs: 8, Links: 12, Horizon: sim.Time(1_000_000), Ops: 6},
+		Nodes:      8,
+		Kills:      3,
+		Partitions: 2,
+	}
+	a := RandomResilienceSchedule(42, cfg)
+	if a.String() != RandomResilienceSchedule(42, cfg).String() {
+		t.Fatal("same seed produced different resilience schedules")
+	}
+	if got := a.Kills(); got != 3 {
+		t.Fatalf("drew %d kills, want 3", got)
+	}
+	seen := map[int]bool{}
+	for _, o := range a.Ops {
+		switch o.Kind {
+		case NodeKill:
+			if o.Src == 0 {
+				t.Fatalf("killed node 0 with the default pool: %s", o)
+			}
+			if seen[o.Src] {
+				t.Fatalf("killed node %d twice", o.Src)
+			}
+			seen[o.Src] = true
+			if o.At < cfg.Horizon/8 {
+				t.Fatalf("kill before the workload's running start: %s", o)
+			}
+		case Partition:
+			if o.Dur < 1 {
+				t.Fatalf("zero-length partition: %s", o)
+			}
+		}
+	}
+	// The base draw must be bit-for-bit RandomSchedule's stream: adding
+	// resilience kinds must never perturb historical seeds (PR 5).
+	base := RandomSchedule(42, cfg.Random)
+	got := map[string]int{}
+	for _, o := range a.Ops {
+		if o.Kind != NodeKill && o.Kind != Partition {
+			got[o.String()]++
+		}
+	}
+	for _, o := range base.Ops {
+		if got[o.String()] == 0 {
+			t.Fatalf("base op missing from resilience schedule: %s", o)
+		}
+		got[o.String()]--
+	}
+}
+
+func TestShrinkResilienceKinds(t *testing.T) {
+	cfg := Resilience{
+		Random:     Random{PEs: 8, Links: 12, Horizon: sim.Time(1_000_000), Ops: 8},
+		Nodes:      8,
+		Kills:      2,
+		Partitions: 2,
+	}
+	s := RandomResilienceSchedule(11, cfg)
+	// Failure witness: any schedule still containing a node kill fails.
+	fails := func(trial Schedule) bool { return trial.Kills() > 0 }
+	min := Shrink(s, fails)
+	if len(min.Ops) != 1 || min.Ops[0].Kind != NodeKill {
+		t.Fatalf("Shrink kept %d ops, want exactly one kill:\n%s", len(min.Ops), min)
+	}
+}
+
+func TestShrinkHalvesDurations(t *testing.T) {
+	s := Schedule{Ops: []Op{
+		{At: 10, Kind: Partition, Arg: 1, Dur: 4096},
+		{At: 50, Kind: LinkFlap, Arg: 2, Dur: 977},
+	}}
+	// The failure needs the partition to cover instant 10+64: Shrink must
+	// drop the flap and shorten the partition to the minimal power cut.
+	fails := func(trial Schedule) bool {
+		for _, o := range trial.Ops {
+			if o.Kind == Partition && o.At+o.Dur > 74 {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(s, fails)
+	if len(min.Ops) != 1 || min.Ops[0].Kind != Partition {
+		t.Fatalf("Shrink kept the wrong ops:\n%s", min)
+	}
+	if d := min.Ops[0].Dur; d != 128 {
+		t.Fatalf("Shrink left dur=%d, want the minimal halving 128", d)
+	}
+}
+
+func TestShrinkIdempotent(t *testing.T) {
+	cfg := Resilience{
+		Random:     Random{PEs: 8, Links: 12, Horizon: sim.Time(1_000_000), Ops: 10},
+		Nodes:      8,
+		Kills:      2,
+		Partitions: 2,
+	}
+	s := RandomResilienceSchedule(99, cfg)
+	// Witness mixes structure and duration so both shrink passes engage.
+	fails := func(trial Schedule) bool {
+		kills, cover := 0, false
+		for _, o := range trial.Ops {
+			if o.Kind == NodeKill {
+				kills++
+			}
+			if o.Dur > 40 {
+				cover = true
+			}
+		}
+		return kills > 0 && cover
+	}
+	if !fails(s) {
+		t.Fatalf("seed no longer produces a failing schedule:\n%s", s)
+	}
+	once := Shrink(s, fails)
+	twice := Shrink(once, fails)
+	if once.String() != twice.String() {
+		t.Fatalf("Shrink not idempotent:\n%s\nvs\n%s", once, twice)
+	}
+	if !fails(once) {
+		t.Fatalf("Shrink lost the failure witness:\n%s", once)
+	}
+}
+
 func TestScheduleString(t *testing.T) {
 	if got := (Schedule{}).String(); got != "fault.Schedule{} (no faults)" {
 		t.Fatalf("empty schedule renders %q", got)

@@ -506,6 +506,16 @@ func (n *Network) FlapLink(link int, at, dur sim.Time) {
 	if li < 0 {
 		li += len(n.links)
 	}
+	n.outageLink(li, at, dur)
+	if p := n.Eng.Probe(); p != nil {
+		p.FaultNoted(sim.FaultLinkFlap, at)
+	}
+}
+
+// outageLink books one link's outage window, deferring through the
+// reservation outbox when a conservative window is executing (shared by
+// FlapLink and PartitionCut; the caller owns the fault note).
+func (n *Network) outageLink(li int, at, dur sim.Time) {
 	if n.sharded != nil && n.sharded.Deferring() {
 		// Inside a window the flapped link may belong to any shard, so
 		// the outage booking rides the reservation outbox like any other
@@ -516,8 +526,74 @@ func (n *Network) FlapLink(link int, at, dur sim.Time) {
 	} else {
 		n.links[li].Acquire(at, dur)
 	}
+}
+
+// CutPlanes reports how many distinct partition cuts the torus admits:
+// one per coordinate offset per dimension of extent >= 2 (a 1-wide
+// dimension has no links to cut). PartitionCut reduces its plane argument
+// modulo this count.
+func (n *Network) CutPlanes() int {
+	planes := 0
+	for _, size := range n.Topo.Dims() {
+		if size >= 2 {
+			planes += size
+		}
+	}
+	return planes
+}
+
+// PartitionCut books a network partition for [at, at+dur): every
+// directional link crossing one torus plane — between coordinate c and
+// c+1 along one dimension — goes down together, so all dimension-ordered
+// routes across the cut stall until the window ends (the heal). Like
+// FlapLink this is pure delay, not loss: Gemini is lossless, so a healed
+// partition releases the stalled traffic in deterministic order. The
+// plane index decodes to (dimension, offset) across the cuttable
+// dimensions; one FaultPartition probe note covers the whole group.
+func (n *Network) PartitionCut(plane int, at, dur sim.Time) {
+	planes := n.CutPlanes()
+	if planes == 0 {
+		return // single-node torus: nothing to cut
+	}
+	plane %= planes
+	if plane < 0 {
+		plane += planes
+	}
+	dims := n.Topo.Dims()
+	dim, offset := 0, plane
+	for d, size := range dims {
+		if size < 2 {
+			continue
+		}
+		if offset < size {
+			dim = d
+			break
+		}
+		offset -= size
+	}
+	// Walk the plane: every node with coord[dim] == offset, cut to its
+	// +1 neighbor (both directions). Node IDs ascend within the loop
+	// nest, so the booking order is deterministic.
+	for z := 0; z < dims[2]; z++ {
+		for y := 0; y < dims[1]; y++ {
+			for x := 0; x < dims[0]; x++ {
+				c := [3]int{x, y, z}
+				if c[dim] != offset {
+					continue
+				}
+				src := n.Topo.Node(x, y, z)
+				c[dim]++
+				dst := n.Topo.Node(c[0], c[1], c[2])
+				if src == dst {
+					continue
+				}
+				n.outageLink(int(n.tab.NeighborLink(src, dst)), at, dur)
+				n.outageLink(int(n.tab.NeighborLink(dst, src)), at, dur)
+			}
+		}
+	}
 	if p := n.Eng.Probe(); p != nil {
-		p.FaultNoted(sim.FaultLinkFlap, at)
+		p.FaultNoted(sim.FaultPartition, at)
 	}
 }
 

@@ -64,6 +64,42 @@ type Host interface {
 	NoteOverhead(pe int, from, to sim.Time)
 }
 
+// UndeliveredSink is the optional Host surface a machine layer uses to
+// account for a message it accepted via SyncSend but will never deliver —
+// a send stranded in host memory when its source node fail-stopped
+// (DESIGN.md §7 "Node failure and recovery"). The host balances its
+// quiescence counters and reclaims the envelope; the layer must not touch
+// the message afterwards. converse.Machine implements it.
+type UndeliveredSink interface {
+	DropUndelivered(msg *Message, at sim.Time)
+}
+
+// NodeDeathHandler is the optional layer surface the runtime invokes when
+// a node fail-stops: the layer reaps protocol state that lived in the dead
+// node's host memory (pending-send queues whose source ranks died). NIC-
+// side state is deliberately untouched — the fail-stop boundary is the
+// scheduler, and in-flight DMA drains normally (DESIGN.md §7).
+type NodeDeathHandler interface {
+	OnNodeDeath(node int, at sim.Time)
+}
+
+// LayerCheckpoint is a machine layer's contribution to a coordinated
+// in-memory checkpoint. Records are typically pool-backed; Release returns
+// the record for reuse and must be called exactly once.
+type LayerCheckpoint interface {
+	Release()
+}
+
+// Checkpointer is the optional layer surface for coordinated in-memory
+// checkpoints. The coordination rule (DESIGN.md §7): a checkpoint is only
+// taken at communication quiescence, so CheckpointState verifies the
+// layer's protocol state is empty — credit windows whole, pending-send
+// queues drained, no rendezvous flights — rather than serializing
+// in-flight state, and fails loudly if the rule was violated.
+type Checkpointer interface {
+	CheckpointState() (LayerCheckpoint, error)
+}
+
 // SendContext is the sender-side view a machine layer gets during
 // LrtsSyncSend: the calling PE, its PE-local virtual clock, and the ability
 // to charge send-side CPU work against it.

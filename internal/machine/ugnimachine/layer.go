@@ -231,6 +231,7 @@ type Layer struct {
 		persistChannels, persistSent            int64
 		smsgNotDone, retransmits, cqOverruns    int64
 		degraded, ctrlMsgq, creditDrained       int64
+		deadReaped                              int64
 	}
 }
 
@@ -292,6 +293,7 @@ func (l *Layer) Stats() map[string]int64 {
 	set("degraded_rdma", l.ctr.degraded)
 	set("ctrl_msgq_fallback", l.ctr.ctrlMsgq)
 	set("credit_drained", l.ctr.creditDrained)
+	set("dead_reaped", l.ctr.deadReaped)
 	set("smsg_credits_in_flight", l.gni.CreditsInFlight())
 	reg := l.gni.RegisteredBytes()
 	for i := range l.pools {

@@ -1,0 +1,120 @@
+package ugnimachine
+
+import (
+	"fmt"
+
+	"charmgo/internal/lrts"
+	"charmgo/internal/mem"
+	"charmgo/internal/sim"
+)
+
+// Node-failure and checkpoint surfaces of the uGNI layer (DESIGN.md §7
+// "Node failure and recovery").
+//
+// The fail-stop boundary is the converse scheduler, not the NIC: CQ
+// hooks, credit returns, and in-flight FMA/BTE transactions on a dead
+// node keep draining, exactly as Gemini hardware completes posted
+// descriptors after a rank dies. What a kill *does* lose is host memory —
+// the pending-send queues of ranks that died before their RC_NOT_DONE
+// retries could reach the mailbox. OnNodeDeath reaps exactly those.
+
+// OnNodeDeath implements lrts.NodeDeathHandler: surrender every
+// pending-send queued by a PE on the dead node. Queued sends never
+// consumed mailbox credits (they were refused with RC_NOT_DONE), so
+// reaping them cannot unbalance the credit conservation law; the host
+// balances its quiescence counters through lrts.UndeliveredSink. The
+// queue records stay registered — empty — so a later credit return finds
+// an empty queue and does nothing.
+func (l *Layer) OnNodeDeath(node int, at sim.Time) {
+	sink, ok := l.host.(lrts.UndeliveredSink)
+	if !ok {
+		return
+	}
+	// pendlist mirrors pendq in creation order, so the reap order — and
+	// with it the replayed probe stream — is deterministic.
+	for _, q := range l.pendlist {
+		if l.gni.Net.NodeOf(q.src) != node {
+			continue
+		}
+		for q.head != nil {
+			node := q.head
+			q.head = node.next
+			msg := node.msg
+			node.next, node.msg = nil, nil
+			l.qnodes.Put(node)
+			q.n--
+			l.ctr.deadReaped++
+			sink.DropUndelivered(msg, at)
+		}
+		q.tail = nil
+	}
+}
+
+// Checkpoint is the uGNI layer's contribution to a coordinated in-memory
+// snapshot: the send-path counters plus the credit-ledger totals whose
+// balance the snapshot verified. It is pool-backed; Release returns it.
+type Checkpoint struct {
+	MsgqSent, SmsgSent, RdmaSent, IntraSent int64
+	CreditsConsumed, CreditReturns          uint64
+}
+
+// ckpts pools layer snapshot records across CheckpointState/Release
+// cycles.
+var ckpts mem.FreeList[Checkpoint]
+
+// CheckpointState implements lrts.Checkpointer. Under the coordination
+// rule the layer holds no serializable protocol state at a legal
+// checkpoint — so instead of serializing, this *verifies* emptiness:
+// no rendezvous flights pending, every credit-starved queue drained,
+// every SMSG credit returned, and every pooled protocol descriptor
+// (INIT/ACK/receive/send/intra/persistent records) back in its pool. Any
+// violation fails the checkpoint loudly. The caller owns the returned
+// record until Release.
+//
+//simlint:acquire
+func (l *Layer) CheckpointState() (lrts.LayerCheckpoint, error) {
+	if n := len(l.pending); n != 0 {
+		return nil, fmt.Errorf("ugnimachine: %d rendezvous sends in flight", n)
+	}
+	for _, q := range l.pendlist {
+		if q.n != 0 {
+			return nil, fmt.Errorf("ugnimachine: %d sends starved on %d->%d", q.n, q.src, q.dst)
+		}
+	}
+	if cif := l.gni.CreditsInFlight(); cif != 0 {
+		return nil, fmt.Errorf("ugnimachine: %d SMSG credits in flight", cif)
+	}
+	for _, p := range []struct {
+		name string
+		out  int64
+	}{
+		{"rdma-init", l.inits.Outstanding()},
+		{"rdma-ack", l.acks.Outstanding()},
+		{"rdma-recv", l.recvs.Outstanding()},
+		{"pending-send", l.sends.Outstanding()},
+		{"intra", l.intras.Outstanding()},
+		{"persist-send", l.pstates.Outstanding()},
+		{"persist-notify", l.pnotes.Outstanding()},
+		{"queue-node", l.qnodes.Outstanding()},
+	} {
+		if p.out != 0 {
+			return nil, fmt.Errorf("ugnimachine: %d %s records outstanding", p.out, p.name)
+		}
+	}
+	ck := ckpts.Get()
+	ck.MsgqSent, ck.SmsgSent = l.ctr.msgqSent, l.ctr.smsgSent
+	ck.RdmaSent, ck.IntraSent = l.ctr.rdmaSent, l.ctr.intraSent
+	ck.CreditsConsumed, ck.CreditReturns = l.gni.CreditsConsumed(), l.gni.CreditReturns()
+	return ck, nil
+}
+
+// Release implements lrts.LayerCheckpoint.
+//
+//simlint:release
+func (c *Checkpoint) Release() { ckpts.Put(c) }
+
+var (
+	_ lrts.NodeDeathHandler = (*Layer)(nil)
+	_ lrts.Checkpointer     = (*Layer)(nil)
+	_ lrts.LayerCheckpoint  = (*Checkpoint)(nil)
+)

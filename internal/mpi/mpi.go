@@ -125,6 +125,7 @@ type Comm struct {
 		eagerSent, rndvSent, intraSent, recvs int64
 		udregHits, udregMisses                int64
 		smsgNotDone, retransmits              int64
+		deadReaped                            int64
 	}
 }
 
@@ -241,6 +242,7 @@ func (c *Comm) Stats() map[string]int64 {
 	set("udreg_misses", c.ctr.udregMisses)
 	set("smsg_not_done", c.ctr.smsgNotDone)
 	set("retransmits", c.ctr.retransmits)
+	set("dead_reaped", c.ctr.deadReaped)
 	return out
 }
 

@@ -1,0 +1,57 @@
+// Package resilience implements the two node-failure recovery
+// strategies the runtime's fault model is proven against (DESIGN.md §7
+// "Node failure and recovery"):
+//
+//   - Team replication (RunTeam): ranks are paired into teams across
+//     two node-disjoint planes, every logical message is mirrored to
+//     both replicas of its consumer team, and replica liveness is
+//     tracked by heartbeats in virtual time. A node kill costs no
+//     recovery protocol at all — the surviving replica already holds
+//     the stream, and in-flight sends addressed to the dead replica
+//     warm-fail-over to the survivor through the scheduler's DeadRoute
+//     hook. The price is paid up front: every message is sent twice.
+//
+//   - Coordinated in-memory checkpoint + rollback (RunCheckpoint): the
+//     workload runs in phases, each ending at communication quiescence
+//     where the machine snapshot collapses to the kernel clock plus
+//     verified-empty machine-layer tables (converse.Machine.Checkpoint).
+//     A kill mid-phase drops the phase's work; recovery discards the
+//     machine, builds a fresh one resumed from the last checkpoint
+//     (advanced past a detection delay and restart cost), and replays
+//     the phase. Failure-free overhead is near zero; recovery costs a
+//     phase of re-execution.
+//
+// Both strategies run on the unmodified machine layers over the
+// deterministic kernel, which is what makes them *testable*: the same
+// seed and kill schedule replay bit-identically, so a property test can
+// assert exactly-once delivery, per-connection FIFO, drained pools, and
+// double-run equality across hundreds of seeds.
+package resilience
+
+import (
+	"charmgo"
+	"charmgo/internal/sim"
+	"charmgo/internal/trace"
+)
+
+// appMsg is the payload of one replicated application message: seq of
+// stream, mirrored to the consumer team's two replicas; intended names
+// the replica this copy was addressed to, so FIFO can be checked per
+// physical connection even after a warm failover rerouted the copy.
+type appMsg struct {
+	stream, seq, intended int
+}
+
+// hopMsg is the payload of one checkpoint-strategy ring hop.
+type hopMsg struct {
+	left int
+}
+
+// noteProbe builds the probe each strategy attaches: its own fault
+// timeline, composed with the caller's probe when one is supplied.
+func noteProbe(tl *trace.FaultTimeline, extra charmgo.Probe) charmgo.Probe {
+	if extra == nil {
+		return tl
+	}
+	return sim.Probes(tl, extra)
+}

@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"testing"
+
+	"charmgo/internal/fault"
+	"charmgo/internal/mem"
+	"charmgo/internal/sim"
+)
+
+func TestTeamFailureFree(t *testing.T) {
+	cfg := TeamConfig{Teams: 4, Msgs: 12}
+	before := mem.LiveDescriptors()
+	r := RunTeam(cfg)
+	if err := r.Check(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if r.Failovers != 0 || r.HeartbeatMisses != 0 || r.Reroutes != 0 {
+		t.Fatalf("failure-free run observed recovery actions: %s", r.Signature())
+	}
+	for pe, a := range r.Applied {
+		if a != cfg.Msgs {
+			t.Fatalf("replica %d applied %d/%d", pe, a, cfg.Msgs)
+		}
+	}
+	if d := mem.LiveDescriptors() - before; d != 0 {
+		t.Fatalf("leaked %d pool descriptors", d)
+	}
+	if r2 := RunTeam(cfg); r2.Signature() != r.Signature() {
+		t.Fatalf("double run diverged:\n%s\n%s", r.Signature(), r2.Signature())
+	}
+}
+
+func TestTeamSingleKill(t *testing.T) {
+	cfg := TeamConfig{Teams: 4, Msgs: 12}
+	// Kill plane-B replica of team 1 mid-run.
+	cfg.Faults = &fault.Schedule{Ops: []fault.Op{
+		{At: 30 * sim.Microsecond, Kind: fault.NodeKill, Src: 5},
+	}}
+	before := mem.LiveDescriptors()
+	r := RunTeam(cfg)
+	if err := r.Check(cfg); err != nil {
+		t.Fatalf("%v\n%s", err, r.Signature())
+	}
+	if r.Kills != 1 {
+		t.Fatalf("kill did not fire: %s", r.Signature())
+	}
+	if !r.Dead[5] {
+		t.Fatal("node 5 not marked dead")
+	}
+	if r.Failovers == 0 || r.HeartbeatMisses == 0 {
+		t.Fatalf("survivor never declared its partner dead: %s", r.Signature())
+	}
+	if d := mem.LiveDescriptors() - before; d != 0 {
+		t.Fatalf("leaked %d pool descriptors", d)
+	}
+	if r2 := RunTeam(cfg); r2.Signature() != r.Signature() {
+		t.Fatalf("double run diverged:\n%s\n%s", r.Signature(), r2.Signature())
+	}
+}
+
+func TestCheckpointFailureFree(t *testing.T) {
+	cfg := CheckpointConfig{Nodes: 8, Phases: 3, HopsPerPhase: 24}
+	before := mem.LiveDescriptors()
+	r := RunCheckpoint(cfg)
+	if r.Rollbacks != 0 || r.Kills != 0 {
+		t.Fatalf("failure-free run rolled back: %s", r.Signature())
+	}
+	if want := cfg.Phases * cfg.HopsPerPhase; r.HopsApplied != want {
+		t.Fatalf("applied %d hops, want %d", r.HopsApplied, want)
+	}
+	if r.Checkpoints != cfg.Phases {
+		t.Fatalf("took %d checkpoints, want %d", r.Checkpoints, cfg.Phases)
+	}
+	if d := mem.LiveDescriptors() - before; d != 0 {
+		t.Fatalf("leaked %d pool descriptors", d)
+	}
+	if r2 := RunCheckpoint(cfg); r2.Signature() != r.Signature() {
+		t.Fatalf("double run diverged:\n%s\n%s", r.Signature(), r2.Signature())
+	}
+}
+
+func TestCheckpointKillRollsBack(t *testing.T) {
+	cfg := CheckpointConfig{Nodes: 8, Phases: 3, HopsPerPhase: 24}
+	cfg.Kills = []fault.Op{{At: 5 * sim.Microsecond, Kind: fault.NodeKill, Src: 3}}
+	before := mem.LiveDescriptors()
+	r := RunCheckpoint(cfg)
+	if r.Kills != 1 {
+		t.Fatalf("kill did not fire: %s", r.Signature())
+	}
+	if r.Rollbacks == 0 {
+		t.Fatalf("kill fired but no rollback: %s", r.Signature())
+	}
+	if want := cfg.Phases * cfg.HopsPerPhase; r.HopsApplied != want {
+		t.Fatalf("recovered run applied %d hops, want %d", r.HopsApplied, want)
+	}
+	free := RunCheckpoint(CheckpointConfig{Nodes: 8, Phases: 3, HopsPerPhase: 24})
+	if r.FinalTime <= free.FinalTime {
+		t.Fatalf("recovery cost no time: killed=%d free=%d", r.FinalTime, free.FinalTime)
+	}
+	if d := mem.LiveDescriptors() - before; d != 0 {
+		t.Fatalf("leaked %d pool descriptors", d)
+	}
+	if r2 := RunCheckpoint(cfg); r2.Signature() != r.Signature() {
+		t.Fatalf("double run diverged:\n%s\n%s", r.Signature(), r2.Signature())
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import "fmt"
+
+// KernelCheckpoint is a coordinated in-memory snapshot of a kernel taken
+// at communication quiescence (DESIGN.md §7 "Node failure and recovery").
+// Because a checkpoint is only legal when no events are pending, the
+// entire kernel state worth saving collapses to the clock and the
+// scheduling-sequence counter: restoring them onto a *fresh* kernel and
+// replaying the same workload reproduces the original run bit-identically
+// — sequence numbers continue where they left off, so (time, sequence)
+// tie-breaks resolve exactly as they would have in an unbroken run.
+//
+// The snapshot is plain data: serializable, comparable with ==, and
+// shard-count agnostic (a checkpoint taken at one shard count restores
+// onto any other, because quiescence leaves nothing shard-resident).
+type KernelCheckpoint struct {
+	// Now is the virtual clock at the checkpoint.
+	Now Time
+	// LastAt is the timestamp of the most recently fired event.
+	LastAt Time
+	// Seq is the next scheduling sequence number.
+	Seq uint64
+	// Fired is the cumulative count of executed events.
+	Fired uint64
+}
+
+// Advanced returns a copy of the checkpoint with the clock warped forward
+// to at — the rollback runner's way of pricing detection delay and
+// restart cost into the recovered timeline while keeping virtual time
+// monotone. Warping backward is refused: replaying into the past would
+// break the single-timeline recovery-latency accounting.
+func (ck KernelCheckpoint) Advanced(at Time) KernelCheckpoint {
+	if at < ck.Now {
+		panic(fmt.Sprintf("sim: KernelCheckpoint.Advanced(%v) before checkpoint time %v", at, ck.Now))
+	}
+	ck.Now = at
+	ck.LastAt = at
+	return ck
+}
+
+// Checkpointer is the snapshot/restore surface of a kernel. Both the flat
+// Engine and the ShardedEngine implement it; both enforce the coordination
+// rule — snapshot and restore are only legal at quiescence (Pending() ==
+// 0), which is what makes the checkpoint this small and the restore this
+// cheap.
+type Checkpointer interface {
+	// Checkpoint snapshots the kernel. It fails unless the kernel is
+	// quiescent.
+	Checkpoint() (KernelCheckpoint, error)
+	// Restore warps a quiescent kernel onto the checkpoint's clock and
+	// sequence counter. The clock may only move forward.
+	Restore(ck KernelCheckpoint) error
+}
+
+var (
+	_ Checkpointer = (*Engine)(nil)
+	_ Checkpointer = (*ShardedEngine)(nil)
+)
+
+// Checkpoint implements Checkpointer.
+func (e *Engine) Checkpoint() (KernelCheckpoint, error) {
+	if e.live != 0 {
+		return KernelCheckpoint{}, fmt.Errorf("sim: checkpoint with %d events pending", e.live)
+	}
+	return KernelCheckpoint{Now: e.now, LastAt: e.lastAt, Seq: e.seq, Fired: e.fired}, nil
+}
+
+// Restore implements Checkpointer.
+func (e *Engine) Restore(ck KernelCheckpoint) error {
+	if e.live != 0 {
+		return fmt.Errorf("sim: restore with %d events pending", e.live)
+	}
+	if ck.Now < e.now {
+		return fmt.Errorf("sim: restore would rewind clock from %v to %v", e.now, ck.Now)
+	}
+	e.now = ck.Now
+	e.lastAt = ck.LastAt
+	e.seq = ck.Seq
+	e.fired = ck.Fired
+	return nil
+}
+
+// Checkpoint implements Checkpointer. In lockstep mode the shared counter
+// is the one that matters; per-shard counters (window modes) are kept
+// uniform by Restore, so one global Seq describes either kind of kernel.
+func (se *ShardedEngine) Checkpoint() (KernelCheckpoint, error) {
+	if n := se.Pending(); n != 0 {
+		return KernelCheckpoint{}, fmt.Errorf("sim: checkpoint with %d events pending", n)
+	}
+	ck := KernelCheckpoint{Now: se.now, LastAt: se.now, Seq: se.seq, Fired: se.Fired()}
+	if se.parallel {
+		// Window modes draw from per-shard counters; the largest is the
+		// safe continuation point for every shard.
+		for _, sh := range se.shards {
+			if sh.seq > ck.Seq {
+				ck.Seq = sh.seq
+			}
+			if sh.lastAt > ck.LastAt {
+				ck.LastAt = sh.lastAt
+			}
+		}
+	}
+	return ck, nil
+}
+
+// Restore implements Checkpointer: the global clock, the shared lockstep
+// counter, and every shard's clock and counter warp to the checkpoint
+// uniformly. Uniform per-shard state is what keeps a restored lockstep
+// kernel bit-identical to a restored flat kernel at every shard count —
+// the same induction that proves clean-run invariance applies from the
+// warped initial state.
+func (se *ShardedEngine) Restore(ck KernelCheckpoint) error {
+	if n := se.Pending(); n != 0 {
+		return fmt.Errorf("sim: restore with %d events pending", n)
+	}
+	if ck.Now < se.now {
+		return fmt.Errorf("sim: restore would rewind clock from %v to %v", se.now, ck.Now)
+	}
+	se.now = ck.Now
+	se.seq = ck.Seq
+	for i, sh := range se.shards {
+		sh.now = ck.Now
+		sh.lastAt = ck.LastAt
+		sh.seq = ck.Seq
+		if i == 0 {
+			sh.fired = ck.Fired
+		} else {
+			sh.fired = 0
+		}
+	}
+	return nil
+}

@@ -48,6 +48,30 @@ const (
 	// window.
 	FaultCqBackPressure
 
+	// Resilience-tier observations (DESIGN.md §7 "Node failure and
+	// recovery"). New kinds append here so the PR 5 counter indices —
+	// and with them every recorded faulted golden — stay stable.
+
+	// FaultNodeKill: a node's schedulers fail-stopped (rank death).
+	FaultNodeKill
+	// FaultPartition: a torus cut took a link group down for a window.
+	FaultPartition
+	// FaultHeartbeatMiss: a replica monitor saw its partner's heartbeat
+	// age past the detection threshold.
+	FaultHeartbeatMiss
+	// FaultFailover: a team declared its dead member failed over to the
+	// surviving replica.
+	FaultFailover
+	// FaultReroute: a message addressed to a dead PE was redirected to
+	// its surviving replica instead of dropped.
+	FaultReroute
+	// FaultCheckpoint: a coordinated in-memory checkpoint was taken at
+	// quiescence.
+	FaultCheckpoint
+	// FaultRollback: a run rolled back to its last checkpoint and began
+	// replay.
+	FaultRollback
+
 	// NumFaultKinds sizes dense per-kind counter arrays.
 	NumFaultKinds
 )
@@ -69,6 +93,20 @@ func (k FaultKind) String() string {
 		return "credit-squeeze"
 	case FaultCqBackPressure:
 		return "cq-backpressure"
+	case FaultNodeKill:
+		return "node-kill"
+	case FaultPartition:
+		return "partition"
+	case FaultHeartbeatMiss:
+		return "heartbeat-miss"
+	case FaultFailover:
+		return "failover"
+	case FaultReroute:
+		return "reroute"
+	case FaultCheckpoint:
+		return "checkpoint"
+	case FaultRollback:
+		return "rollback"
 	}
 	return "fault?"
 }
